@@ -1,0 +1,71 @@
+// Ablation (paper §VIII future work / DESIGN.md): partitioning strategies
+// under ICM. For each dataset and strategy: temporal edge cut, load
+// imbalance, and the cluster-modeled makespan of a representative TI and
+// TD algorithm. The paper observed hash partitioning bottlenecks (70% of
+// TGB's Twitter messages landing on 4 of 8 partitions, §VII-B3); this
+// quantifies how much smarter placement helps ICM itself.
+#include "bench_common.h"
+#include "graph/partition_strategies.h"
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  const double scale = bench::ResolveScale(argc, argv, 0.3);
+  const int workers = 8;
+  constexpr PartitionStrategy kStrategies[] = {
+      PartitionStrategy::kHash, PartitionStrategy::kRange,
+      PartitionStrategy::kBlock, PartitionStrategy::kGreedyLdg};
+
+  std::printf("Partitioning ablation (scale %.2f, %d workers): ICM with "
+              "explicit vertex placement\n\n",
+              scale, workers);
+  for (const DatasetSpec& spec : DatasetCatalog(scale)) {
+    std::fprintf(stderr, "[gen] %s ...\n", spec.name.c_str());
+    Workload w(Generate(spec.options));
+    const VertexId hub = bench::HubVertex(w.graph());
+
+    TextTable table;
+    table.AddRow({"Strategy", "Cut-%", "Imbalance", "WCC-modeled-ms",
+                  "SSSP-modeled-ms"});
+    for (PartitionStrategy s : kStrategies) {
+      const auto part = ComputePartition(w.graph(), s, workers);
+      // WCC runs on the undirected expansion: evaluate/partition that
+      // graph for it, but report the base-graph cut for comparability.
+      const auto part_undirected =
+          ComputePartition(w.undirected(), s, workers);
+      const PartitionQuality q = EvaluatePartition(w.graph(), part, workers);
+
+      auto run_icm = [&](auto&& program, const TemporalGraph& g,
+                         const std::vector<int>& placement, auto options) {
+        options.num_workers = workers;
+        options.custom_partition = &placement;
+        using P = std::decay_t<decltype(program)>;
+        auto result = IcmEngine<P>::Run(g, program, options);
+        RunMetrics::ClusterModel model;
+        model.num_workers = workers;
+        return static_cast<double>(
+                   result.metrics.SimulatedMakespanNs(model)) /
+               1e6;
+      };
+      std::fprintf(stderr, "[run] %s %s ...\n", spec.name.c_str(),
+                   PartitionStrategyName(s));
+      const double wcc_ms = run_icm(IcmWcc(), w.undirected(),
+                                    part_undirected, IcmOptions{});
+      const double sssp_ms =
+          run_icm(IcmSssp(w.graph(), hub), w.graph(), part, IcmOptions{});
+      table.AddRow({PartitionStrategyName(s),
+                    FormatDouble(100 * q.cut_fraction, 1),
+                    FormatDouble(q.load_imbalance, 2),
+                    FormatDouble(wcc_ms, 1), FormatDouble(sssp_ms, 1)});
+    }
+    std::printf("=== %s ===\n%s\n", spec.name.c_str(),
+                table.ToString().c_str());
+    w.DropDerived();
+  }
+  std::printf(
+      "Reading: lower temporal edge cut => less cross-worker traffic in\n"
+      "the modeled makespan; imbalance > 1 concentrates compute on one\n"
+      "worker. Block placement excels on the road grid (id-local\n"
+      "neighborhoods); greedy-LDG wins on the social graphs; hash is the\n"
+      "balanced default the paper (and Giraph) uses.\n");
+  return 0;
+}

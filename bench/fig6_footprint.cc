@@ -1,0 +1,64 @@
+// Reproduces Fig. 6(a): in-memory footprint of each platform's graph
+// representation — the interval graph (ICM), the transformed graph (TGB),
+// the largest single snapshot (MSB / GoFFish) and the largest Chlonos
+// batch. Paper shape: TGB largest, then Chlonos, ICM, GoFFish/MSB; on
+// long-lifespan graphs the transformed graph dwarfs the interval graph
+// (the paper's MAG/WebUK DNL cases).
+#include "bench_common.h"
+#include "graph/graph_stats.h"
+
+namespace {
+
+// Approximate per-entity bytes of a materialized snapshot in our CSR
+// representation (vertex record + edge record + property slice).
+constexpr size_t kSnapshotVertexBytes = sizeof(graphite::VertexId) +
+                                        sizeof(graphite::Interval);
+constexpr size_t kSnapshotEdgeBytes = sizeof(graphite::StoredEdge) +
+                                      2 * sizeof(graphite::PropValue);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  const double scale = bench::ResolveScale(argc, argv);
+  const int batch_size = 8;
+
+  std::printf("Fig. 6(a): graph representation footprint in MB "
+              "(scale %.2f, Chlonos batch = %d snapshots)\n\n",
+              scale, batch_size);
+  TextTable table;
+  table.AddRow({"Graph", "Interval(ICM)", "Transformed(TGB)",
+                "Largest-snap(MSB/GOF)", "Batch(CHL)", "TGB/ICM"});
+  for (const DatasetSpec& spec : DatasetCatalog(scale)) {
+    std::fprintf(stderr, "[gen] %s ...\n", spec.name.c_str());
+    const TemporalGraph g = Generate(spec.options);
+    const TransformedGraph tg = BuildTransformedGraph(g);
+    const GraphStats s =
+        ComputeGraphStats(g, /*include_transformed=*/false);
+
+    const double interval_mb =
+        static_cast<double>(g.MemoryFootprintBytes()) / 1e6;
+    const double transformed_mb =
+        static_cast<double>(tg.MemoryFootprintBytes()) / 1e6;
+    const double snap_mb =
+        static_cast<double>(s.largest_snapshot_v * kSnapshotVertexBytes +
+                            s.largest_snapshot_e * kSnapshotEdgeBytes) /
+        1e6;
+    // A Chlonos batch materializes up to `batch_size` adjacent snapshots.
+    const double batch_mb =
+        std::min(static_cast<double>(batch_size),
+                 static_cast<double>(s.num_snapshots)) *
+        snap_mb;
+    table.AddRow({spec.name, FormatDouble(interval_mb, 2),
+                  FormatDouble(transformed_mb, 2), FormatDouble(snap_mb, 2),
+                  FormatDouble(batch_mb, 2),
+                  FormatDouble(transformed_mb / interval_mb, 1) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper comparison: the transformed graph needed 604/684 GB for\n"
+      "MAG/WebUK vs 130/183 GB interval graphs (4.6x/3.7x, and it did not\n"
+      "fit the 480 GB cluster). The analogous TGB/ICM blow-up above is\n"
+      "largest for the long-lifespan graphs.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 6(c): automatic warp suppression on the unit-lifespan
+// graphs — GPlus-like (every message unit-length, ICM's worst case) and
+// Reddit-like (96% unit). Paper shape: suppression cuts the makespan by
+// 25-40% on GPlus, leaving GRAPHITE only marginally (~7%) behind the
+// snapshot baselines; also sweeps the suppression threshold.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  const double scale = bench::ResolveScale(argc, argv, 0.5);
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kBfs, Algorithm::kWcc, Algorithm::kPr, Algorithm::kSssp,
+      Algorithm::kRh,  Algorithm::kTmst};
+
+  for (const char* graph_name : {"gplus", "reddit"}) {
+    const DatasetSpec spec = DatasetByName(graph_name, scale);
+    std::fprintf(stderr, "[gen] %s ...\n", spec.name.c_str());
+    Workload w(Generate(spec.options));
+
+    std::printf("Fig. 6(c): warp suppression on %s (scale %.2f)\n\n",
+                spec.name.c_str(), scale);
+    TextTable table;
+    table.AddRow({"Alg", "Makespan-ms(warp)", "Makespan-ms(suppressed)",
+                  "Improvement-%", "Calls(warp)", "Calls(suppressed)"});
+    for (Algorithm a : algorithms) {
+      std::fprintf(stderr, "[run] %s suppression on/off ...\n",
+                   AlgorithmName(a));
+      RunConfig off_cfg, on_cfg;
+      off_cfg.num_workers = on_cfg.num_workers = 8;
+      off_cfg.icm_suppression = false;
+      on_cfg.icm_suppression = true;
+      const RunMetrics off = RunForMetrics(w, Platform::kIcm, a, off_cfg);
+      const RunMetrics on = RunForMetrics(w, Platform::kIcm, a, on_cfg);
+      const double gain =
+          100.0 * (1.0 - static_cast<double>(on.makespan_ns) /
+                             std::max<double>(1, static_cast<double>(
+                                                     off.makespan_ns)));
+      table.AddRow({AlgorithmName(a), FormatDouble(bench::Ms(off.makespan_ns), 1),
+                    FormatDouble(bench::Ms(on.makespan_ns), 1),
+                    FormatDouble(gain, 1), FormatCount(off.compute_calls),
+                    FormatCount(on.compute_calls)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+
+    // Threshold sweep for one representative traversal algorithm.
+    std::printf("Suppression-threshold sweep (SSSP on %s):\n\n",
+                spec.name.c_str());
+    TextTable sweep;
+    sweep.AddRow({"Threshold", "Makespan-ms", "Compute-calls"});
+    for (double threshold : {0.0, 0.5, 0.7, 0.9, 1.01}) {
+      RunConfig cfg;
+      cfg.num_workers = 8;
+      cfg.icm_suppression = threshold <= 1.0;
+      cfg.icm_suppression_threshold = threshold;
+      const RunMetrics m =
+          RunForMetrics(w, Platform::kIcm, Algorithm::kSssp, cfg);
+      sweep.AddRow({threshold > 1.0 ? "off" : FormatDouble(threshold, 2),
+                    FormatDouble(bench::Ms(m.makespan_ns), 1),
+                    FormatCount(m.compute_calls)});
+    }
+    std::printf("%s\n", sweep.ToString().c_str());
+  }
+  std::printf("Paper shape: 25-40%% makespan reduction on GPlus with\n"
+              "suppression enabled (default threshold 0.7); correctness is\n"
+              "unaffected (the equivalence tests cover this).\n");
+  return 0;
+}

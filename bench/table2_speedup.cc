@@ -1,0 +1,109 @@
+// Reproduces Table 2: the ratio of each baseline platform's makespan over
+// GRAPHITE/ICM, averaged over the TI algorithms (MSB, Chlonos) and the TD
+// algorithms (TGB, GoFFish), for every graph. Ratios > 1 mean ICM wins.
+//
+// Paper shape to reproduce: large wins (up to ~25x) on the long-lifespan
+// graphs (Twitter-like, MAG-like, WebUK-like), parity (~1x) on the
+// unit-lifespan GPlus-like and Reddit-like, TGB >2x on USRN-like, and
+// GoFFish well above 1 everywhere the snapshot count is high.
+#include <map>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  using bench::SweepPoint;
+  const double scale = bench::ResolveScale(argc, argv, 0.5);
+  RunConfig config;
+  config.num_workers = 8;  // Paper: 8 nodes for all non-scaling runs.
+
+  auto datasets = bench::LoadCatalog(scale);
+  const std::vector<Algorithm> algorithms(std::begin(kAllAlgorithms),
+                                          std::end(kAllAlgorithms));
+  const auto points = bench::RunSweep(datasets, config, algorithms);
+
+  // ratio[platform][graph] = geomean over algorithms of
+  // makespan(platform)/makespan(ICM), under the shared cluster model
+  // (compute critical path + 1 GbE + barrier; see DESIGN.md §4).
+  const struct {
+    const char* klass;
+    Platform platform;
+  } kRows[] = {{"TI", Platform::kMsb},
+               {"TI", Platform::kChl},
+               {"TD", Platform::kTgb},
+               {"TD", Platform::kGof}};
+  auto print_ratio_table = [&](const char* title, auto&& makespan_of) {
+    std::printf("\n%s (scale %.2f, %d workers). >1x means ICM is "
+                "faster.\n\n",
+                title, scale, config.num_workers);
+    TextTable table;
+    std::vector<std::string> header = {"", "Platform"};
+    for (const auto& ds : datasets) header.push_back(ds.name);
+    table.AddRow(header);
+    for (const auto& row : kRows) {
+      std::vector<std::string> cells = {row.klass,
+                                        PlatformName(row.platform)};
+      for (const auto& ds : datasets) {
+        std::vector<double> ratios;
+        for (Algorithm a : algorithms) {
+          if (!Supports(row.platform, a)) continue;
+          const SweepPoint& base =
+              bench::Find(points, ds.name, a, row.platform);
+          const SweepPoint& icm =
+              bench::Find(points, ds.name, a, Platform::kIcm);
+          ratios.push_back(std::max(1e-9, makespan_of(base.metrics)) /
+                           std::max(1e-9, makespan_of(icm.metrics)));
+        }
+        cells.push_back(FormatDouble(GeoMean(ratios), 2) + "x");
+      }
+      table.AddRow(cells);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  };
+  print_ratio_table(
+      "Table 2: baseline / GRAPHITE(ICM) cluster-modeled makespan",
+      [&](const RunMetrics& m) {
+        return bench::ModeledMs(m, config.num_workers);
+      });
+  print_ratio_table(
+      "For reference: raw single-host wall-clock ratio (per-call constants"
+      " only; no network)",
+      [](const RunMetrics& m) { return static_cast<double>(m.makespan_ns); });
+
+  // Model-intrinsic counts behind the ratios (paper §VII-B2).
+  std::printf("Count ratios (baseline/ICM, geomean over algorithms):\n\n");
+  TextTable counts;
+  std::vector<std::string> header = {"", "Platform"};
+  for (const auto& ds : datasets) header.push_back(ds.name);
+  counts.AddRow(header);
+  for (const auto& row : kRows) {
+    std::vector<std::string> calls_cells = {row.klass,
+                                            std::string(PlatformName(row.platform)) +
+                                                " calls"};
+    std::vector<std::string> msg_cells = {row.klass,
+                                          std::string(PlatformName(row.platform)) +
+                                              " msgs"};
+    for (const auto& ds : datasets) {
+      std::vector<double> call_ratios, msg_ratios;
+      for (Algorithm a : algorithms) {
+        if (!Supports(row.platform, a)) continue;
+        const SweepPoint& base =
+            bench::Find(points, ds.name, a, row.platform);
+        const SweepPoint& icm =
+            bench::Find(points, ds.name, a, Platform::kIcm);
+        call_ratios.push_back(
+            static_cast<double>(std::max<int64_t>(1, base.metrics.compute_calls)) /
+            static_cast<double>(std::max<int64_t>(1, icm.metrics.compute_calls)));
+        msg_ratios.push_back(
+            static_cast<double>(std::max<int64_t>(1, base.metrics.messages)) /
+            static_cast<double>(std::max<int64_t>(1, icm.metrics.messages)));
+      }
+      calls_cells.push_back(FormatDouble(GeoMean(call_ratios), 1) + "x");
+      msg_cells.push_back(FormatDouble(GeoMean(msg_ratios), 1) + "x");
+    }
+    counts.AddRow(calls_cells);
+    counts.AddRow(msg_cells);
+  }
+  std::printf("%s", counts.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Fraud rings: detecting monetary routing patterns in a transaction
+// network (paper §I: "Temporal motifs like feed-forward triangles in
+// transaction networks let us identify monetary routing patterns").
+//
+// Generates an account-to-account transfer graph whose edges appear and
+// disappear over days, then runs the TD clustering algorithms:
+//   * TC  — per-interval triangle counts: accounts sitting on many
+//           concurrent transfer triangles are routing candidates,
+//   * LCC — local clustering coefficient: tight cliques of accounts.
+// Finally cross-checks the flagged accounts with temporal reachability
+// from the most suspicious one.
+//
+//   $ ./fraud_rings [num-accounts]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "algorithms/icm_clustering.h"
+#include "algorithms/icm_path.h"
+#include "gen/generators.h"
+#include "icm/icm_engine.h"
+
+namespace {
+using namespace graphite;  // Example code; the library never does this.
+}
+
+int main(int argc, char** argv) {
+  const int64_t accounts = argc > 1 ? std::atoll(argv[1]) : 1500;
+
+  GenOptions opt;
+  opt.seed = 13;
+  opt.num_vertices = accounts;
+  opt.num_edges = accounts * 8;  // Dense enough to form triangles.
+  opt.snapshots = 14;            // Two weeks of daily snapshots.
+  opt.edge_lifespan = GenOptions::Lifespan::kMixed;
+  opt.unit_fraction = 0.4;  // Many one-day transfer relationships.
+  opt.mean_edge_lifespan = 7;
+  opt.zipf_alpha = 1.0;  // A few accounts transact with everyone.
+  const TemporalGraph g = Generate(opt);
+  std::printf("Transaction network: %zu accounts, %zu transfer edges, "
+              "%lld daily snapshots\n\n",
+              g.num_vertices(), g.num_edges(),
+              static_cast<long long>(g.horizon()));
+
+  // --- Triangle counting. ---
+  IcmTriangleCount tc;
+  auto tc_run = IcmEngine<IcmTriangleCount>::Run(g, tc, TriangleOptions());
+  const auto counts = TriangleCounts(tc_run.states);
+
+  struct Suspect {
+    int64_t peak = 0;       // Max concurrent triangles.
+    TimePoint when = 0;     // Day of the peak.
+    VertexIdx v = 0;
+  };
+  std::vector<Suspect> suspects;
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    Suspect s;
+    s.v = v;
+    for (const auto& e : counts[v].entries()) {
+      if (e.value > s.peak) {
+        s.peak = e.value;
+        s.when = e.interval.start;
+      }
+    }
+    if (s.peak > 0) suspects.push_back(s);
+  }
+  std::sort(suspects.begin(), suspects.end(),
+            [](const Suspect& a, const Suspect& b) { return a.peak > b.peak; });
+
+  std::printf("Accounts on the most concurrent transfer triangles:\n");
+  for (size_t i = 0; i < suspects.size() && i < 5; ++i) {
+    std::printf("  account %6lld: %lld triangles on day %lld\n",
+                static_cast<long long>(g.vertex_id(suspects[i].v)),
+                static_cast<long long>(suspects[i].peak),
+                static_cast<long long>(suspects[i].when));
+  }
+  if (suspects.empty()) {
+    std::printf("  (no triangles in this network)\n");
+    return 0;
+  }
+
+  // --- Clustering coefficient of the top suspect over time. ---
+  auto lcc_run = RunIcmLcc(g, IcmOptions{});
+  const VertexIdx top = suspects[0].v;
+  std::printf("\nClustering coefficient of account %lld over time:\n",
+              static_cast<long long>(g.vertex_id(top)));
+  for (const auto& e : lcc_run.lcc[top].entries()) {
+    if (e.value > 0) {
+      std::printf("  %.4f during %s\n", e.value,
+                  e.interval.ToString().c_str());
+    }
+  }
+
+  // --- Where could the money flow from the top suspect? ---
+  IcmReach reach(g, g.vertex_id(top));
+  auto reach_run = IcmEngine<IcmReach>::Run(g, reach);
+  int64_t reachable = 0;
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& e : reach_run.states[v].entries()) {
+      if (e.value == 1) {
+        ++reachable;
+        break;
+      }
+    }
+  }
+  std::printf("\nFunds from account %lld can reach %lld accounts "
+              "(%.1f%%) through time-respecting transfer paths.\n",
+              static_cast<long long>(g.vertex_id(top)),
+              static_cast<long long>(reachable),
+              100.0 * static_cast<double>(reachable) /
+                  static_cast<double>(g.num_vertices()));
+  std::printf("\nICM effort (triangle run): %s\n",
+              tc_run.metrics.ToString().c_str());
+  return 0;
+}

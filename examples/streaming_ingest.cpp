@@ -1,0 +1,81 @@
+// Streaming ingestion: consuming a live feed of graph updates, sealing
+// the evolving graph periodically, and answering temporal queries plus an
+// ICM analytic after every seal (the paper's §VIII streaming + querying
+// future work, end to end).
+//
+//   $ ./streaming_ingest [num-accounts] [num-events]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/icm_path.h"
+#include "icm/icm_engine.h"
+#include "query/temporal_query.h"
+#include "stream/update_stream.h"
+
+namespace {
+using namespace graphite;  // Example code; the library never does this.
+}
+
+int main(int argc, char** argv) {
+  const int accounts = argc > 1 ? std::atoi(argv[1]) : 300;
+  const int events = argc > 2 ? std::atoi(argv[2]) : 3000;
+  const TimePoint horizon = 24;
+
+  const auto feed = SyntheticUpdateStream(2026, accounts, events, horizon);
+  std::printf("Feed: %zu events over %lld ticks for %d accounts\n\n",
+              feed.size(), static_cast<long long>(horizon), accounts);
+
+  StreamingGraphBuilder builder;
+  size_t cursor = 0;
+  for (TimePoint checkpoint : {horizon / 3, 2 * horizon / 3, horizon - 1}) {
+    while (cursor < feed.size() && feed[cursor].time <= checkpoint) {
+      const Status s = builder.Apply(feed[cursor]);
+      GRAPHITE_CHECK(s.ok());
+      ++cursor;
+    }
+    auto sealed = builder.Seal(checkpoint + 1);
+    GRAPHITE_CHECK(sealed.ok());
+    const TemporalGraph& g = *sealed;
+
+    std::printf("--- checkpoint t=%lld: sealed %zu vertices / %zu edges "
+                "(%zu live edges in the stream) ---\n",
+                static_cast<long long>(checkpoint), g.num_vertices(),
+                g.num_edges(), builder.num_live_edges());
+
+    // Temporal query: how did connectivity evolve up to this checkpoint?
+    const TemporalHistogram h = CountOverTime(g);
+    std::printf("  alive edges at t=0/%lld/%lld: %lld / %lld / %lld\n",
+                static_cast<long long>(checkpoint / 2),
+                static_cast<long long>(checkpoint),
+                static_cast<long long>(h.edges[0]),
+                static_cast<long long>(h.edges[static_cast<size_t>(
+                    checkpoint / 2)]),
+                static_cast<long long>(h.edges[static_cast<size_t>(
+                    checkpoint)]));
+    const PropertyStats cost = AggregateEdgeProperty(
+        g, "travel-cost", Interval(0, checkpoint + 1));
+    std::printf("  transfer fees: min %lld  max %lld  mean %.2f\n",
+                static_cast<long long>(cost.min),
+                static_cast<long long>(cost.max), cost.mean);
+
+    // ICM analytic on the sealed prefix: reachability from account 0.
+    IcmReach reach(g, 0);
+    auto result = IcmEngine<IcmReach>::Run(g, reach);
+    int64_t reached = 0;
+    for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+      for (const auto& e : result.states[v].entries()) {
+        if (e.value == 1) {
+          ++reached;
+          break;
+        }
+      }
+    }
+    std::printf("  account 0 reaches %lld accounts so far "
+                "(%lld ICM messages)\n\n",
+                static_cast<long long>(reached),
+                static_cast<long long>(result.metrics.messages));
+  }
+  std::printf("Stream fully consumed; the builder stays live for more "
+              "events (seals are snapshots).\n");
+  return 0;
+}

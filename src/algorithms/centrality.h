@@ -1,0 +1,58 @@
+// Time-dependent centrality measures (paper §I motivation: "TD centrality
+// measures are used to estimate information propagation delays in social
+// networks"). Built compositionally on the ICM path algorithms:
+//
+//   * Temporal closeness of v — harmonic mean of propagation delays from
+//     v: C(v) = sum over u != v of 1 / (EAT_v(u) - t0), computed with one
+//     ICM EAT run per source over a set of samples.
+//   * Propagation delay profile — for a source, the number of vertices
+//     first reached by each time-point (the influence-ramp curve).
+//   * Temporal degree centrality — per-time-point out-degree mass
+//     (cheap, purely structural; no ICM run).
+#ifndef GRAPHITE_ALGORITHMS_CENTRALITY_H_
+#define GRAPHITE_ALGORITHMS_CENTRALITY_H_
+
+#include <vector>
+
+#include "algorithms/common.h"
+#include "icm/icm_engine.h"
+
+namespace graphite {
+
+/// Options for sampled temporal closeness.
+struct ClosenessOptions {
+  /// Number of sampled sources; 0 = every vertex (exact, O(V) ICM runs).
+  int num_samples = 32;
+  /// Deterministic sampling seed.
+  uint64_t seed = 1;
+  IcmOptions icm;
+};
+
+/// Result of a temporal-closeness computation.
+struct ClosenessResult {
+  /// closeness[v]: harmonic closeness of vertex v as a SOURCE (how fast it
+  /// reaches the rest of the graph). Only filled for computed sources;
+  /// sampled runs leave the rest at -1.
+  std::vector<double> closeness;
+  /// Vertices used as sources (all of them when exhaustive).
+  std::vector<VertexIdx> sources;
+  RunMetrics metrics;  ///< Summed over all EAT runs.
+};
+
+/// Harmonic temporal closeness via ICM EAT runs from each (sampled)
+/// source: C(v) = sum_u 1 / (eat_v(u) - start_v + 1), u reachable.
+ClosenessResult TemporalCloseness(const TemporalGraph& g,
+                                  const ClosenessOptions& options = {});
+
+/// Influence ramp of one source: ramp[t] = number of vertices whose
+/// earliest time-respecting arrival from `source` is <= t.
+std::vector<int64_t> PropagationRamp(const TemporalGraph& g, VertexId source,
+                                     const IcmOptions& options = {});
+
+/// Temporal degree centrality: degree[v] = sum over t of out-degree(v, t),
+/// i.e. the total number of (edge, time-point) transmission opportunities.
+std::vector<int64_t> TemporalDegreeCentrality(const TemporalGraph& g);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ALGORITHMS_CENTRALITY_H_

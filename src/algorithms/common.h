@@ -1,0 +1,57 @@
+// Shared helpers for the algorithm library: infinity sentinels, graph
+// reversal / undirection (for LD, SCC, WCC), per-vertex temporal
+// out-degree profiles (PageRank), and the TemporalResult representation
+// used to compare outcomes across platforms.
+#ifndef GRAPHITE_ALGORITHMS_COMMON_H_
+#define GRAPHITE_ALGORITHMS_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/temporal_graph.h"
+#include "temporal/interval_map.h"
+
+namespace graphite {
+
+/// "Unreached" cost/arrival sentinel for path algorithms.
+inline constexpr int64_t kInfCost = std::numeric_limits<int64_t>::max();
+/// "No departure possible" sentinel for latest-departure.
+inline constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min();
+
+/// Canonical edge-property names used by the TD algorithms.
+inline constexpr const char* kTravelTimeLabel = "travel-time";
+inline constexpr const char* kTravelCostLabel = "travel-cost";
+
+/// Per-vertex, per-time-point algorithm output, used to compare platforms:
+/// result[v] maps time intervals to the algorithm's value for vertex v.
+template <typename V>
+using TemporalResult = std::vector<IntervalMap<V>>;
+
+/// Value of `result[v]` at time t; `absent` when no entry covers t.
+template <typename V>
+V ResultAt(const TemporalResult<V>& result, VertexIdx v, TimePoint t,
+           V absent) {
+  auto val = result[v].Get(t);
+  return val ? *val : absent;
+}
+
+/// Builds the reversed graph: every edge (u -> v) becomes (v -> u), keeping
+/// ids, lifespans and properties. Used by LD (reverse traversal in space
+/// and time) and the backward phases of SCC.
+TemporalGraph ReverseGraph(const TemporalGraph& g);
+
+/// Builds the undirected expansion: for every edge (u -> v) with id e, a
+/// reverse edge (v -> u) is added with a fresh id, duplicating lifespan and
+/// properties. Used by WCC.
+TemporalGraph MakeUndirected(const TemporalGraph& g);
+
+/// Temporal out-degree profile of every vertex: profile[v] maps each
+/// interval to the number of out-edges alive throughout it (gaps where the
+/// out-degree is zero). Used by PageRank's rank shares.
+std::vector<IntervalMap<int64_t>> OutDegreeProfiles(const TemporalGraph& g);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ALGORITHMS_COMMON_H_

@@ -1,0 +1,332 @@
+// GoFFish-TS programs for the eight TD algorithms. Each follows the
+// GoFFish pattern (paper §VII-A3): persistent per-vertex state, transit
+// messages sent to the snapshot where they arrive, and the state
+// explicitly passed forward to the next snapshot as a self-message — so a
+// reached vertex stays active (and re-sends) in every later snapshot.
+#ifndef GRAPHITE_ALGORITHMS_GOF_PROGRAMS_H_
+#define GRAPHITE_ALGORITHMS_GOF_PROGRAMS_H_
+
+#include <algorithm>
+
+#include "algorithms/icm_clustering.h"
+#include "baselines/goffish.h"
+
+namespace graphite {
+
+namespace gof_internal {
+
+// Per-snapshot edge weights (same defaults as the ICM programs).
+struct SnapshotWeights {
+  std::optional<LabelId> time_label;
+  std::optional<LabelId> cost_label;
+
+  explicit SnapshotWeights(const TemporalGraph& g)
+      : time_label(g.LabelIdOf(kTravelTimeLabel)),
+        cost_label(g.LabelIdOf(kTravelCostLabel)) {}
+
+  TimePoint TravelTime(const SnapshotView& view, EdgePos pos) const {
+    if (!time_label) return 1;
+    auto v = view.EdgePropertyAt(pos, *time_label);
+    return v ? static_cast<TimePoint>(*v) : 1;
+  }
+  PropValue Cost(const SnapshotView& view, EdgePos pos) const {
+    if (!cost_label) return 1;
+    auto v = view.EdgePropertyAt(pos, *cost_label);
+    return v ? *v : 1;
+  }
+};
+
+}  // namespace gof_internal
+
+/// GoFFish temporal SSSP: persistent best cost; transits carry cost +
+/// edge cost to the arrival snapshot; state self-forwarded each snapshot.
+class GofSssp {
+ public:
+  using Value = int64_t;
+  using Message = int64_t;
+
+  GofSssp(const TemporalGraph& g, VertexId source)
+      : weights_(g), source_(source) {}
+
+  Value Init(VertexIdx) const { return kInfCost; }
+
+  bool InitialActive(VertexIdx v, TimePoint t, const SnapshotView& view) const {
+    return view.graph().vertex_id(v) == source_ &&
+           t == std::max<TimePoint>(0, view.graph().vertex_interval(v).start);
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    if (view.graph().vertex_id(v) == source_ && val == kInfCost) val = 0;
+    for (const Message& m : msgs) val = std::min(val, m);
+    if (val == kInfCost) return;
+    const TimePoint t = ctx.time();
+    view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+      ctx.SendTemporal(e.dst, t + weights_.TravelTime(view, pos),
+                       val + weights_.Cost(view, pos));
+    });
+    ctx.SendTemporal(v, t + 1, val);  // Explicit state hand-over.
+  }
+
+ private:
+  gof_internal::SnapshotWeights weights_;
+  VertexId source_;
+};
+
+/// GoFFish EAT: persistent earliest arrival.
+class GofEat {
+ public:
+  using Value = int64_t;
+  using Message = int64_t;
+
+  GofEat(const TemporalGraph& g, VertexId source)
+      : weights_(g), source_(source) {}
+
+  Value Init(VertexIdx) const { return kInfCost; }
+
+  bool InitialActive(VertexIdx v, TimePoint t, const SnapshotView& view) const {
+    return view.graph().vertex_id(v) == source_ &&
+           t == std::max<TimePoint>(0, view.graph().vertex_interval(v).start);
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    const TimePoint t = ctx.time();
+    if (view.graph().vertex_id(v) == source_) val = std::min(val, t);
+    for (const Message& m : msgs) val = std::min(val, m);
+    if (val == kInfCost) return;
+    view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+      const TimePoint arr = t + weights_.TravelTime(view, pos);
+      ctx.SendTemporal(e.dst, arr, arr);
+    });
+    ctx.SendTemporal(v, t + 1, val);
+  }
+
+ private:
+  gof_internal::SnapshotWeights weights_;
+  VertexId source_;
+};
+
+/// GoFFish reachability: boolean EAT.
+class GofReach {
+ public:
+  using Value = uint8_t;
+  using Message = uint8_t;
+
+  GofReach(const TemporalGraph& g, VertexId source)
+      : weights_(g), source_(source) {}
+
+  Value Init(VertexIdx) const { return 0; }
+
+  bool InitialActive(VertexIdx v, TimePoint t, const SnapshotView& view) const {
+    return view.graph().vertex_id(v) == source_ &&
+           t == std::max<TimePoint>(0, view.graph().vertex_interval(v).start);
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    if (view.graph().vertex_id(v) == source_ || !msgs.empty()) val = 1;
+    if (val == 0) return;
+    const TimePoint t = ctx.time();
+    view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+      ctx.SendTemporal(e.dst, t + weights_.TravelTime(view, pos), 1);
+    });
+    ctx.SendTemporal(v, t + 1, 1);
+  }
+
+ private:
+  gof_internal::SnapshotWeights weights_;
+  VertexId source_;
+};
+
+/// GoFFish TMST: EAT plus parent id, minimized lexicographically.
+class GofTmst {
+ public:
+  using Value = std::pair<int64_t, int64_t>;
+  using Message = std::pair<int64_t, int64_t>;
+
+  GofTmst(const TemporalGraph& g, VertexId source)
+      : weights_(g), source_(source) {}
+
+  Value Init(VertexIdx) const { return {kInfCost, -1}; }
+
+  bool InitialActive(VertexIdx v, TimePoint t, const SnapshotView& view) const {
+    return view.graph().vertex_id(v) == source_ &&
+           t == std::max<TimePoint>(0, view.graph().vertex_interval(v).start);
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    const VertexId me = view.graph().vertex_id(v);
+    const TimePoint t = ctx.time();
+    if (me == source_ && val.first == kInfCost) val = {t, me};
+    for (const Message& m : msgs) val = std::min(val, m);
+    if (val.first == kInfCost) return;
+    view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+      const TimePoint arr = t + weights_.TravelTime(view, pos);
+      ctx.SendTemporal(e.dst, arr, {arr, me});
+    });
+    ctx.SendTemporal(v, t + 1, val);
+  }
+
+ private:
+  gof_internal::SnapshotWeights weights_;
+  VertexId source_;
+};
+
+/// GoFFish FAST: persistent latest feasible journey start; the source
+/// starts a fresh journey at every snapshot it is alive.
+class GofFast {
+ public:
+  using Value = int64_t;
+  using Message = int64_t;
+
+  GofFast(const TemporalGraph& g, VertexId source)
+      : weights_(g), source_(source) {}
+
+  Value Init(VertexIdx) const { return kNegInf; }
+
+  bool InitialActive(VertexIdx v, TimePoint, const SnapshotView& view) const {
+    return view.graph().vertex_id(v) == source_;
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    const TimePoint t = ctx.time();
+    if (view.graph().vertex_id(v) == source_) {
+      // A fresh journey departing now dominates any pass-through start.
+      view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+        ctx.SendTemporal(e.dst, t + weights_.TravelTime(view, pos), t);
+      });
+      return;
+    }
+    for (const Message& m : msgs) val = std::max(val, m);
+    if (val == kNegInf) return;
+    view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+      ctx.SendTemporal(e.dst, t + weights_.TravelTime(view, pos), val);
+    });
+    ctx.SendTemporal(v, t + 1, val);
+  }
+
+ private:
+  gof_internal::SnapshotWeights weights_;
+  VertexId source_;
+};
+
+/// GoFFish latest departure. Run on the REVERSED graph with
+/// GoffishOptions.reverse_time = true; candidate departures are delivered
+/// to the predecessor within the same snapshot (inner superstep) and
+/// state is handed to the PREVIOUS snapshot.
+class GofLatestDeparture {
+ public:
+  using Value = int64_t;
+  using Message = int64_t;
+
+  GofLatestDeparture(const TemporalGraph& reversed, VertexId target,
+                     TimePoint deadline)
+      : weights_(reversed), target_(target), deadline_(deadline) {}
+
+  Value Init(VertexIdx) const { return kNegInf; }
+
+  bool InitialActive(VertexIdx v, TimePoint t, const SnapshotView& view) const {
+    return view.graph().vertex_id(v) == target_ && t <= deadline_;
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    const TimePoint t = ctx.time();
+    bool changed = false;
+    if (view.graph().vertex_id(v) == target_ && val == kNegInf) {
+      const Interval& span = view.graph().vertex_interval(v);
+      val = std::min<int64_t>(deadline_, span.end - 1);
+      changed = true;
+    }
+    for (const Message& m : msgs) {
+      if (m > val) {
+        val = m;
+        changed = true;
+      }
+    }
+    if (val == kNegInf) return;
+    // Candidate departures go to predecessors within THIS snapshot, so
+    // send only on the snapshot's first inner superstep or on a value
+    // change — otherwise the inner loop would ping-pong forever.
+    if (ctx.superstep() > 0 && !changed) return;
+    // Reversed edge v->u stands for original u->v: u may depart at t if
+    // it arrives by our latest time.
+    view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos pos) {
+      if (t + weights_.TravelTime(view, pos) <= val) {
+        ctx.SendTemporal(e.dst, t, t);
+      }
+    });
+    if (t - 1 >= 0) ctx.SendTemporal(v, t - 1, val);
+  }
+
+ private:
+  gof_internal::SnapshotWeights weights_;
+  VertexId target_;
+  TimePoint deadline_;
+};
+
+/// GoFFish triangle counting: the 4-superstep closure protocol runs
+/// entirely within each snapshot (triangle edges are concurrent); no
+/// temporal messages. The persistent TcState is reset per snapshot.
+class GofTriangle {
+ public:
+  using Value = TcState;
+  using Message = std::pair<int64_t, int64_t>;  ///< (hop, origin id).
+
+  Value Init(VertexIdx) const { return TcState{}; }
+
+  bool InitialActive(VertexIdx, TimePoint, const SnapshotView&) const {
+    return true;  // Every alive vertex starts a closure probe.
+  }
+
+  void Compute(GofContext<Message>& ctx, VertexIdx v, Value& val,
+               std::span<const Message> msgs, const SnapshotView& view) {
+    const VertexId me = view.graph().vertex_id(v);
+    const TimePoint t = ctx.time();
+    if (ctx.superstep() == 0) {
+      val = TcState{};  // New snapshot, fresh count.
+      val.started = true;
+      view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos) {
+        ctx.SendTemporal(e.dst, t, {1, me});
+      });
+      return;
+    }
+    for (const Message& m : msgs) {
+      switch (m.first) {
+        case 1:
+          if (m.second != me) val.forward.push_back(m.second);
+          break;
+        case 2:
+          val.close.push_back(m.second);
+          break;
+        case 3:
+          ++val.triangles;
+          break;
+        default:
+          GRAPHITE_CHECK(false);
+      }
+    }
+    if (ctx.superstep() == 1) {
+      view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos) {
+        const VertexId dst_id = view.graph().vertex_id(e.dst);
+        for (int64_t origin : val.forward) {
+          if (origin != dst_id) ctx.SendTemporal(e.dst, t, {2, origin});
+        }
+      });
+    } else if (ctx.superstep() == 2) {
+      view.ForEachOutEdge(v, [&](const StoredEdge& e, EdgePos) {
+        const VertexId dst_id = view.graph().vertex_id(e.dst);
+        for (int64_t origin : val.close) {
+          if (origin == dst_id) ctx.SendTemporal(e.dst, t, {3, origin});
+        }
+      });
+    }
+  }
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ALGORITHMS_GOF_PROGRAMS_H_

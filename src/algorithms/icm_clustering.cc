@@ -1,0 +1,34 @@
+#include "algorithms/icm_clustering.h"
+
+namespace graphite {
+
+LccRun RunIcmLcc(const TemporalGraph& g, const IcmOptions& options) {
+  IcmTriangleCount tc;
+  auto result =
+      IcmEngine<IcmTriangleCount>::Run(g, tc, TriangleOptions(options));
+  const TemporalResult<int64_t> triangles = TriangleCounts(result.states);
+  const std::vector<IntervalMap<int64_t>> degrees = OutDegreeProfiles(g);
+
+  LccRun run;
+  run.metrics = std::move(result.metrics);
+  run.lcc.resize(g.num_vertices());
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    // lcc = triangles / (d * (d - 1)), refined wherever either the
+    // triangle count or the out-degree changes.
+    for (const auto& tri : triangles[v].entries()) {
+      run.lcc[v].Set(tri.interval, 0.0);
+      if (tri.value == 0) continue;
+      degrees[v].ForEachIntersecting(
+          tri.interval, [&](const Interval& sub, int64_t d) {
+            if (d >= 2) {
+              run.lcc[v].Set(sub, static_cast<double>(tri.value) /
+                                      static_cast<double>(d * (d - 1)));
+            }
+          });
+    }
+    run.lcc[v].Coalesce();
+  }
+  return run;
+}
+
+}  // namespace graphite

@@ -1,0 +1,58 @@
+#include "algorithms/icm_ti.h"
+
+namespace graphite {
+
+SccRun RunIcmScc(const TemporalGraph& g, const TemporalGraph& reversed,
+                 const IcmOptions& options) {
+  const size_t n = g.num_vertices();
+  GRAPHITE_CHECK(reversed.num_vertices() == n);
+  SccRun run;
+  run.components.resize(n);
+  std::vector<IntervalMap<int64_t>> assigned(n);
+
+  // Remaining unassigned coverage, measured within the horizon window.
+  auto remaining = [&]() {
+    int64_t rem = 0;
+    for (VertexIdx v = 0; v < n; ++v) {
+      const Interval span = g.ClipToHorizon(g.vertex_interval(v));
+      if (span.IsEmpty()) continue;
+      int64_t covered = 0;
+      assigned[v].ForEachIntersecting(span, [&](const Interval& iv, int64_t) {
+        covered += iv.end - iv.start;
+      });
+      rem += (span.end - span.start) - covered;
+    }
+    return rem;
+  };
+
+  while (remaining() > 0) {
+    ++run.rounds;
+    // Phase 1: forward max-id coloring of the unassigned regions.
+    IcmSccForward fwd(&assigned, g.horizon());
+    auto fr = IcmEngine<IcmSccForward>::Run(g, fwd, options);
+    run.metrics.Merge(fr.metrics);
+
+    // Phase 2: pivots flood their color backward through equal-colored
+    // unassigned regions on the reversed graph.
+    IcmSccBackward bwd(&fr.states, &assigned);
+    auto br = IcmEngine<IcmSccBackward>::Run(reversed, bwd, options);
+    run.metrics.Merge(br.metrics);
+
+    int64_t newly = 0;
+    for (VertexIdx v = 0; v < n; ++v) {
+      for (const auto& entry : br.states[v].entries()) {
+        if (entry.value < 0) continue;
+        assigned[v].Set(entry.interval, entry.value);
+        run.components[v].Set(entry.interval, entry.value);
+        newly += entry.interval.end - entry.interval.start;
+      }
+    }
+    // Progress is guaranteed: every unassigned region contains at least
+    // one pivot (the max id reachable within it), which labels itself.
+    GRAPHITE_CHECK(newly > 0);
+  }
+  for (auto& map : run.components) map.Coalesce();
+  return run;
+}
+
+}  // namespace graphite

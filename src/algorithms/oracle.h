@@ -1,0 +1,70 @@
+// Sequential reference implementations ("oracles") used to validate every
+// distributed algorithm, on all platforms, against an independent
+// formulation. TD oracles run dynamic programming / Dijkstra over the
+// (vertex, time-point) product space with explicit waiting edges; TI
+// oracles run the classic sequential algorithm on each snapshot.
+// All oracles are O(|V| * T)-ish and intended for test-sized graphs.
+#ifndef GRAPHITE_ALGORITHMS_ORACLE_H_
+#define GRAPHITE_ALGORITHMS_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/common.h"
+#include "graph/temporal_graph.h"
+
+namespace graphite {
+
+/// result[v][t] = minimum time-respecting travel cost from `source` to be
+/// at v at time t (waiting allowed); kInfCost when unreachable. t ranges
+/// over [0, horizon).
+std::vector<std::vector<int64_t>> OracleSsspCosts(const TemporalGraph& g,
+                                                  VertexId source);
+
+/// result[v][t] = 1 iff v is time-respecting reachable from `source` by
+/// time t (within the horizon).
+std::vector<std::vector<uint8_t>> OracleReach(const TemporalGraph& g,
+                                              VertexId source);
+
+/// result[v] = earliest arrival time at v from `source` (kInfCost if
+/// unreachable within the horizon).
+std::vector<int64_t> OracleEat(const TemporalGraph& g, VertexId source);
+
+/// result[v] = latest time one can leave v and still reach `target` by
+/// `deadline` (kNegInf when impossible). Arrivals must fall within the
+/// receiving vertex's lifespan.
+std::vector<int64_t> OracleLatestDeparture(const TemporalGraph& g,
+                                           VertexId target,
+                                           TimePoint deadline);
+
+/// result[v] = minimum journey duration (arrival - departure-from-source)
+/// over all source departure times in [0, horizon); kInfCost if never
+/// reachable.
+std::vector<int64_t> OracleFastest(const TemporalGraph& g, VertexId source);
+
+/// result[v][t] = BFS hop distance from `source` in snapshot S_t
+/// (kInfCost when unreachable or inactive).
+std::vector<std::vector<int64_t>> OracleBfs(const TemporalGraph& g,
+                                            VertexId source);
+
+/// result[v][t] = minimum vertex id in v's weakly connected component in
+/// S_t (kInfCost when inactive). Edges are treated as undirected.
+std::vector<std::vector<int64_t>> OracleWcc(const TemporalGraph& g);
+
+/// result[v][t] = maximum vertex id in v's strongly connected component in
+/// S_t (kInfCost when inactive) — the canonical label the FW-BW coloring
+/// SCC also produces.
+std::vector<std::vector<int64_t>> OracleScc(const TemporalGraph& g);
+
+/// result[v][t] = PageRank of v in S_t after `iterations` synchronous
+/// rounds of rank = 0.15 + 0.85 * sum(in-shares); -1 when inactive.
+std::vector<std::vector<double>> OraclePageRank(const TemporalGraph& g,
+                                                int iterations);
+
+/// result[v][t] = number of directed triangles v -> a -> b -> v whose
+/// three edges are all active at t (0 when inactive).
+std::vector<std::vector<int64_t>> OracleTriangles(const TemporalGraph& g);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ALGORITHMS_ORACLE_H_

@@ -1,0 +1,658 @@
+#include "algorithms/runners.h"
+
+#include <algorithm>
+
+namespace graphite {
+
+namespace {
+
+VertexId ResolveTarget(const TemporalGraph& g, const RunConfig& config) {
+  if (config.target >= 0) return config.target;
+  return g.vertex_id(static_cast<VertexIdx>(g.num_vertices() - 1));
+}
+
+TimePoint ResolveDeadline(const TemporalGraph& g, const RunConfig& config) {
+  return config.deadline >= 0 ? config.deadline : g.horizon();
+}
+
+// lcc = triangles / (d * (d-1)) with the temporal out-degree profile.
+TemporalResult<double> NormalizeLcc(const TemporalGraph& g,
+                                    const TemporalResult<int64_t>& triangles) {
+  const std::vector<IntervalMap<int64_t>> degrees = OutDegreeProfiles(g);
+  TemporalResult<double> out(g.num_vertices());
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& tri : triangles[v].entries()) {
+      out[v].Set(tri.interval, 0.0);
+      if (tri.value == 0) continue;
+      degrees[v].ForEachIntersecting(
+          tri.interval, [&](const Interval& sub, int64_t d) {
+            if (d >= 2) {
+              out[v].Set(sub, static_cast<double>(tri.value) /
+                                  static_cast<double>(d * (d - 1)));
+            }
+          });
+    }
+    out[v].Coalesce();
+  }
+  return out;
+}
+
+void StoreMetrics(RunMetrics* sink, RunMetrics metrics) {
+  if (sink != nullptr) *sink = std::move(metrics);
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBfs: return "BFS";
+    case Algorithm::kWcc: return "WCC";
+    case Algorithm::kScc: return "SCC";
+    case Algorithm::kPr: return "PR";
+    case Algorithm::kSssp: return "SSSP";
+    case Algorithm::kEat: return "EAT";
+    case Algorithm::kFast: return "FAST";
+    case Algorithm::kLd: return "LD";
+    case Algorithm::kTmst: return "TMST";
+    case Algorithm::kRh: return "RH";
+    case Algorithm::kLcc: return "LCC";
+    case Algorithm::kTc: return "TC";
+  }
+  return "?";
+}
+
+const char* PlatformName(Platform p) {
+  switch (p) {
+    case Platform::kIcm: return "ICM";
+    case Platform::kMsb: return "MSB";
+    case Platform::kChl: return "CHL";
+    case Platform::kTgb: return "TGB";
+    case Platform::kGof: return "GOF";
+  }
+  return "?";
+}
+
+bool IsTimeDependent(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBfs:
+    case Algorithm::kWcc:
+    case Algorithm::kScc:
+    case Algorithm::kPr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool Supports(Platform p, Algorithm a) {
+  switch (p) {
+    case Platform::kIcm:
+      return true;
+    case Platform::kMsb:
+    case Platform::kChl:
+      return !IsTimeDependent(a);
+    case Platform::kTgb:
+    case Platform::kGof:
+      return IsTimeDependent(a);
+  }
+  return false;
+}
+
+const TemporalGraph& Workload::reversed() const {
+  if (!reversed_) reversed_ = ReverseGraph(g_);
+  return *reversed_;
+}
+const TemporalGraph& Workload::undirected() const {
+  if (!undirected_) undirected_ = MakeUndirected(g_);
+  return *undirected_;
+}
+const TransformedGraph& Workload::transformed() const {
+  if (!transformed_) transformed_ = BuildTransformedGraph(g_);
+  return *transformed_;
+}
+const TransformedGraph& Workload::transformed_zero() const {
+  if (!transformed_zero_) {
+    TransformOptions options;
+    options.forced_travel_time = 0;
+    transformed_zero_ = BuildTransformedGraph(g_, options);
+  }
+  return *transformed_zero_;
+}
+void Workload::DropDerived() {
+  reversed_.reset();
+  undirected_.reset();
+  transformed_.reset();
+  transformed_zero_.reset();
+}
+
+// ---------------------------------------------------------------------
+// TI runners.
+// ---------------------------------------------------------------------
+
+TemporalResult<int64_t> RunBfsOn(Workload& w, Platform p,
+                                 const RunConfig& config, RunMetrics* metrics) {
+  switch (p) {
+    case Platform::kIcm: {
+      IcmBfs program(config.source);
+      auto r = IcmEngine<IcmBfs>::Run(w.graph(), program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (auto& m : r.states) m.Coalesce();
+      return std::move(r.states);
+    }
+    case Platform::kMsb: {
+      auto r = RunMsbBfs(w.graph(), config.source, config.ToVcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    case Platform::kChl: {
+      auto r = RunChlonosBfs(w.graph(), config.source, config.ToChlonos());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+TemporalResult<int64_t> RunWccOn(Workload& w, Platform p,
+                                 const RunConfig& config, RunMetrics* metrics) {
+  switch (p) {
+    case Platform::kIcm: {
+      IcmWcc program;
+      auto r = IcmEngine<IcmWcc>::Run(w.undirected(), program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (auto& m : r.states) m.Coalesce();
+      return std::move(r.states);
+    }
+    case Platform::kMsb: {
+      auto r = RunMsbWcc(w.undirected(), config.ToVcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    case Platform::kChl: {
+      auto r = RunChlonosWcc(w.undirected(), config.ToChlonos());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+TemporalResult<int64_t> RunSccOn(Workload& w, Platform p,
+                                 const RunConfig& config, RunMetrics* metrics) {
+  switch (p) {
+    case Platform::kIcm: {
+      auto r = RunIcmScc(w.graph(), w.reversed(), config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.components);
+    }
+    case Platform::kMsb: {
+      auto r = RunMsbScc(w.graph(), w.reversed(), config.ToVcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    case Platform::kChl: {
+      auto r = RunChlonosScc(w.graph(), w.reversed(), config.ToChlonos());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+TemporalResult<double> RunPrOn(Workload& w, Platform p,
+                               const RunConfig& config, RunMetrics* metrics) {
+  switch (p) {
+    case Platform::kIcm: {
+      IcmPageRank program(w.graph());
+      auto r = IcmEngine<IcmPageRank>::Run(w.graph(), program,
+                                           PageRankOptions(config.ToIcm()));
+      StoreMetrics(metrics, std::move(r.metrics));
+      // Clip to the horizon window so the per-snapshot platforms compare
+      // directly (open-ended lifespans extend past the last snapshot).
+      TemporalResult<double> out(r.states.size());
+      for (size_t v = 0; v < r.states.size(); ++v) {
+        r.states[v].ForEachIntersecting(
+            Interval(0, w.graph().horizon()),
+            [&](const Interval& iv, double val) { out[v].Set(iv, val); });
+        out[v].Coalesce();
+      }
+      return out;
+    }
+    case Platform::kMsb: {
+      auto r = RunMsbPageRank(w.graph(), config.ToVcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    case Platform::kChl: {
+      auto r = RunChlonosPageRank(w.graph(), config.ToChlonos());
+      StoreMetrics(metrics, std::move(r.metrics));
+      return std::move(r.result);
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+// ---------------------------------------------------------------------
+// TD runners.
+// ---------------------------------------------------------------------
+
+TemporalResult<int64_t> RunSsspOn(Workload& w, Platform p,
+                                  const RunConfig& config,
+                                  RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  switch (p) {
+    case Platform::kIcm: {
+      IcmSssp program(g, config.source);
+      auto r = IcmEngine<IcmSssp>::Run(g, program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (auto& m : r.states) m.Coalesce();
+      return std::move(r.states);
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed();
+      TransformedAdapter adapter(&tg, &g);
+      TgbSssp program(adapter, config.source);
+      std::vector<int64_t> values;
+      StoreMetrics(metrics,
+                   RunVcm(adapter, program, config.ToVcm(), &values));
+      auto out = AssembleFromReplicas<int64_t>(
+          tg, g, values, [](int64_t v) { return v != kInfCost; });
+      // The source is at cost 0 over its whole lifespan, replicas or not.
+      if (auto src = g.IndexOf(config.source)) {
+        out[*src].Set(g.vertex_interval(*src), 0);
+        out[*src].Coalesce();
+      }
+      return out;
+    }
+    case Platform::kGof: {
+      GofSssp program(g, config.source);
+      auto r = RunGoffish(g, program, config.ToGoffish());
+      StoreMetrics(metrics, std::move(r.metrics));
+      // Canonicalize: drop the "unreached" sentinel entries.
+      for (auto& m : r.result) {
+        std::vector<std::pair<Interval, int64_t>> keep;
+        for (const auto& e : m.entries()) {
+          if (e.value != kInfCost) keep.emplace_back(e.interval, e.value);
+        }
+        m.clear();
+        for (auto& [iv, val] : keep) m.Set(iv, val);
+        m.Coalesce();
+      }
+      return std::move(r.result);
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+std::vector<int64_t> RunEatOn(Workload& w, Platform p, const RunConfig& config,
+                              RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  std::vector<int64_t> eat(g.num_vertices(), kInfCost);
+  switch (p) {
+    case Platform::kIcm: {
+      IcmEat program(g, config.source);
+      auto r = IcmEngine<IcmEat>::Run(g, program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.states[v].entries()) {
+          eat[v] = std::min(eat[v], e.value);
+        }
+      }
+      return eat;
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed();
+      TransformedAdapter adapter(&tg, &g);
+      TgbReach program(adapter, config.source);
+      std::vector<uint8_t> values;
+      StoreMetrics(metrics,
+                   RunVcm(adapter, program, config.ToVcm(), &values));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (ReplicaIdx r : tg.ReplicasOf(v)) {
+          if (values[r]) {
+            eat[v] = std::min(eat[v], tg.replica_time(r));
+            break;  // Replicas are time-ordered.
+          }
+        }
+      }
+      if (auto src = g.IndexOf(config.source)) {
+        eat[*src] = std::max<TimePoint>(0, g.vertex_interval(*src).start);
+      }
+      return eat;
+    }
+    case Platform::kGof: {
+      GofEat program(g, config.source);
+      auto r = RunGoffish(g, program, config.ToGoffish());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.result[v].entries()) {
+          eat[v] = std::min(eat[v], e.value);
+        }
+      }
+      return eat;
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return eat;
+  }
+}
+
+std::vector<int64_t> RunFastOn(Workload& w, Platform p,
+                               const RunConfig& config, RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  std::vector<int64_t> fastest(g.num_vertices(), kInfCost);
+  const auto src = g.IndexOf(config.source);
+  GRAPHITE_CHECK(src.has_value());
+  switch (p) {
+    case Platform::kIcm: {
+      IcmFast program(g, config.source);
+      auto r = IcmEngine<IcmFast>::Run(g, program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        if (v == *src) continue;
+        for (const auto& e : r.states[v].entries()) {
+          if (e.value == kNegInf) continue;
+          fastest[v] = std::min(fastest[v], e.interval.start - e.value);
+        }
+      }
+      break;
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed();
+      TransformedAdapter adapter(&tg, &g);
+      TgbFast program(adapter, config.source);
+      std::vector<int64_t> values;
+      StoreMetrics(metrics,
+                   RunVcm(adapter, program, config.ToVcm(), &values));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        if (v == *src) continue;
+        for (ReplicaIdx r : tg.ReplicasOf(v)) {
+          if (values[r] != kNegInf) {
+            fastest[v] =
+                std::min(fastest[v], tg.replica_time(r) - values[r]);
+          }
+        }
+      }
+      break;
+    }
+    case Platform::kGof: {
+      GofFast program(g, config.source);
+      auto r = RunGoffish(g, program, config.ToGoffish());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        if (v == *src) continue;
+        for (const auto& e : r.result[v].entries()) {
+          if (e.value == kNegInf) continue;
+          fastest[v] = std::min(fastest[v], e.interval.start - e.value);
+        }
+      }
+      break;
+    }
+    default:
+      GRAPHITE_CHECK(false);
+  }
+  fastest[*src] = 0;
+  return fastest;
+}
+
+std::vector<int64_t> RunLdOn(Workload& w, Platform p, const RunConfig& config,
+                             RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  const VertexId target = ResolveTarget(g, config);
+  const TimePoint deadline = ResolveDeadline(g, config);
+  std::vector<int64_t> latest(g.num_vertices(), kNegInf);
+  switch (p) {
+    case Platform::kIcm: {
+      const TemporalGraph& reversed = w.reversed();
+      IcmLatestDeparture program(reversed, target, deadline);
+      auto r = IcmEngine<IcmLatestDeparture>::Run(reversed, program,
+                                                  config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.states[v].entries()) {
+          latest[v] = std::max(latest[v], e.value);
+        }
+      }
+      return latest;
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed();
+      ReversedTransformedAdapter adapter(&tg, &g);
+      TgbLd program(adapter, g, target, deadline);
+      std::vector<uint8_t> values;
+      StoreMetrics(metrics,
+                   RunVcm(adapter, program, config.ToVcm(), &values));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (ReplicaIdx r : tg.ReplicasOf(v)) {
+          if (values[r]) {
+            latest[v] = std::max(latest[v], tg.replica_time(r));
+          }
+        }
+      }
+      // The target may "depart" as late as the clamped deadline.
+      if (auto tgt = g.IndexOf(target)) {
+        const Interval& span = g.vertex_interval(*tgt);
+        const TimePoint clamp = std::min<TimePoint>(deadline, span.end - 1);
+        if (span.Contains(clamp)) latest[*tgt] = std::max(latest[*tgt], clamp);
+      }
+      return latest;
+    }
+    case Platform::kGof: {
+      const TemporalGraph& reversed = w.reversed();
+      GofLatestDeparture program(reversed, target, deadline);
+      GoffishOptions options = config.ToGoffish();
+      options.reverse_time = true;
+      auto r = RunGoffish(reversed, program, options);
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.result[v].entries()) {
+          latest[v] = std::max(latest[v], e.value);
+        }
+      }
+      return latest;
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return latest;
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> RunTmstOn(Workload& w, Platform p,
+                                                   const RunConfig& config,
+                                                   RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  std::vector<std::pair<int64_t, int64_t>> best(g.num_vertices(),
+                                                {kInfCost, -1});
+  switch (p) {
+    case Platform::kIcm: {
+      IcmTmst program(g, config.source);
+      auto r = IcmEngine<IcmTmst>::Run(g, program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.states[v].entries()) {
+          if (e.value < best[v]) best[v] = e.value;
+        }
+      }
+      return best;
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed();
+      TransformedAdapter adapter(&tg, &g);
+      TgbTmst program(adapter, config.source);
+      std::vector<std::pair<int64_t, int64_t>> values;
+      StoreMetrics(metrics,
+                   RunVcm(adapter, program, config.ToVcm(), &values));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (ReplicaIdx r : tg.ReplicasOf(v)) {
+          if (values[r] < best[v]) best[v] = values[r];
+        }
+      }
+      if (auto src = g.IndexOf(config.source)) {
+        best[*src] = {std::max<TimePoint>(0, g.vertex_interval(*src).start),
+                      config.source};
+      }
+      return best;
+    }
+    case Platform::kGof: {
+      GofTmst program(g, config.source);
+      auto r = RunGoffish(g, program, config.ToGoffish());
+      StoreMetrics(metrics, std::move(r.metrics));
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.result[v].entries()) {
+          if (e.value < best[v]) best[v] = e.value;
+        }
+      }
+      return best;
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return best;
+  }
+}
+
+TemporalResult<uint8_t> RunRhOn(Workload& w, Platform p,
+                                const RunConfig& config, RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  switch (p) {
+    case Platform::kIcm: {
+      IcmReach program(g, config.source);
+      auto r = IcmEngine<IcmReach>::Run(g, program, config.ToIcm());
+      StoreMetrics(metrics, std::move(r.metrics));
+      TemporalResult<uint8_t> out(g.num_vertices());
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.states[v].entries()) {
+          if (e.value == 1) out[v].Set(e.interval, 1);
+        }
+        out[v].Coalesce();
+      }
+      return out;
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed();
+      TransformedAdapter adapter(&tg, &g);
+      TgbReach program(adapter, config.source);
+      std::vector<uint8_t> values;
+      StoreMetrics(metrics,
+                   RunVcm(adapter, program, config.ToVcm(), &values));
+      auto out = AssembleFromReplicas<uint8_t>(
+          tg, g, values, [](uint8_t v) { return v == 1; });
+      if (auto src = g.IndexOf(config.source)) {
+        out[*src].Set(g.vertex_interval(*src), 1);
+        out[*src].Coalesce();
+      }
+      return out;
+    }
+    case Platform::kGof: {
+      GofReach program(g, config.source);
+      auto r = RunGoffish(g, program, config.ToGoffish());
+      StoreMetrics(metrics, std::move(r.metrics));
+      TemporalResult<uint8_t> out(g.num_vertices());
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.result[v].entries()) {
+          if (e.value == 1) out[v].Set(e.interval, 1);
+        }
+        out[v].Coalesce();
+      }
+      return out;
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+TemporalResult<int64_t> RunTcOn(Workload& w, Platform p,
+                                const RunConfig& config, RunMetrics* metrics) {
+  const TemporalGraph& g = w.graph();
+  switch (p) {
+    case Platform::kIcm: {
+      IcmTriangleCount program;
+      auto r = IcmEngine<IcmTriangleCount>::Run(
+          g, program, TriangleOptions(config.ToIcm()));
+      StoreMetrics(metrics, std::move(r.metrics));
+      return TriangleCounts(r.states);
+    }
+    case Platform::kTgb: {
+      const TransformedGraph& tg = w.transformed_zero();
+      TransformedAdapter adapter(&tg, &g);
+      TgbTriangle program(adapter);
+      VcmOptions options = config.ToVcm();
+      options.max_supersteps = 4;
+      std::vector<TcState> values;
+      StoreMetrics(metrics, RunVcm(adapter, program, options, &values));
+      TemporalResult<int64_t> out(g.num_vertices());
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (ReplicaIdx r : tg.ReplicasOf(v)) {
+          if (values[r].triangles > 0) {
+            const TimePoint t = tg.replica_time(r);
+            out[v].Set(Interval(t, t + 1), values[r].triangles);
+          }
+        }
+        out[v].Coalesce();
+      }
+      return out;
+    }
+    case Platform::kGof: {
+      GofTriangle program;
+      auto r = RunGoffish(g, program, config.ToGoffish());
+      StoreMetrics(metrics, std::move(r.metrics));
+      TemporalResult<int64_t> out(g.num_vertices());
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        for (const auto& e : r.result[v].entries()) {
+          if (e.value.triangles > 0) out[v].Set(e.interval, e.value.triangles);
+        }
+        out[v].Coalesce();
+      }
+      return out;
+    }
+    default:
+      GRAPHITE_CHECK(false);
+      return {};
+  }
+}
+
+TemporalResult<double> RunLccOn(Workload& w, Platform p,
+                                const RunConfig& config, RunMetrics* metrics) {
+  if (p == Platform::kIcm) {
+    auto r = RunIcmLcc(w.graph(), config.ToIcm());
+    StoreMetrics(metrics, std::move(r.metrics));
+    return std::move(r.lcc);
+  }
+  // TGB / GOF: closure counts from the triangle run, then the shared
+  // degree normalization.
+  const TemporalResult<int64_t> tc = RunTcOn(w, p, config, metrics);
+  return NormalizeLcc(w.graph(), tc);
+}
+
+RunMetrics RunForMetrics(Workload& w, Platform p, Algorithm a,
+                         const RunConfig& config) {
+  GRAPHITE_CHECK(Supports(p, a));
+  RunMetrics metrics;
+  switch (a) {
+    case Algorithm::kBfs: RunBfsOn(w, p, config, &metrics); break;
+    case Algorithm::kWcc: RunWccOn(w, p, config, &metrics); break;
+    case Algorithm::kScc: RunSccOn(w, p, config, &metrics); break;
+    case Algorithm::kPr: RunPrOn(w, p, config, &metrics); break;
+    case Algorithm::kSssp: RunSsspOn(w, p, config, &metrics); break;
+    case Algorithm::kEat: RunEatOn(w, p, config, &metrics); break;
+    case Algorithm::kFast: RunFastOn(w, p, config, &metrics); break;
+    case Algorithm::kLd: RunLdOn(w, p, config, &metrics); break;
+    case Algorithm::kTmst: RunTmstOn(w, p, config, &metrics); break;
+    case Algorithm::kRh: RunRhOn(w, p, config, &metrics); break;
+    case Algorithm::kLcc: RunLccOn(w, p, config, &metrics); break;
+    case Algorithm::kTc: RunTcOn(w, p, config, &metrics); break;
+  }
+  return metrics;
+}
+
+}  // namespace graphite

@@ -1,0 +1,166 @@
+// Unified algorithm runners: one entry point per (algorithm, platform)
+// pair, all returning comparable results plus RunMetrics. The equivalence
+// tests use the typed results; the benchmark harness uses the
+// metrics-only dispatcher (RunForMetrics).
+//
+// Platform support follows the paper's evaluation matrix (§VII-A):
+//   TI algorithms (BFS, WCC, SCC, PR):   ICM, MSB, Chlonos
+//   TD algorithms (SSSP, EAT, FAST, LD,
+//                  TMST, RH, LCC, TC):   ICM, TGB, GoFFish
+#ifndef GRAPHITE_ALGORITHMS_RUNNERS_H_
+#define GRAPHITE_ALGORITHMS_RUNNERS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "algorithms/common.h"
+#include "algorithms/gof_programs.h"
+#include "algorithms/icm_clustering.h"
+#include "algorithms/icm_path.h"
+#include "algorithms/icm_ti.h"
+#include "baselines/chlonos.h"
+#include "baselines/goffish.h"
+#include "baselines/msb.h"
+#include "baselines/tgb.h"
+
+namespace graphite {
+
+enum class Algorithm {
+  kBfs, kWcc, kScc, kPr,                       // TI
+  kSssp, kEat, kFast, kLd, kTmst, kRh, kLcc, kTc,  // TD
+};
+enum class Platform { kIcm, kMsb, kChl, kTgb, kGof };
+
+const char* AlgorithmName(Algorithm a);
+const char* PlatformName(Platform p);
+bool IsTimeDependent(Algorithm a);
+/// True iff the paper evaluates this algorithm on this platform.
+bool Supports(Platform p, Algorithm a);
+
+/// All twelve algorithms, TI first (paper order).
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kBfs,  Algorithm::kWcc, Algorithm::kScc,  Algorithm::kPr,
+    Algorithm::kSssp, Algorithm::kEat, Algorithm::kFast, Algorithm::kLd,
+    Algorithm::kTmst, Algorithm::kRh,  Algorithm::kLcc,  Algorithm::kTc};
+
+/// Execution knobs shared across platforms.
+struct RunConfig {
+  int num_workers = 4;
+  bool use_threads = false;
+  VertexId source = 0;
+  /// LD deadline; -1 = graph horizon.
+  TimePoint deadline = -1;
+  /// LD target; -1 = highest vertex id.
+  VertexId target = -1;
+  int chlonos_batch_size = 8;
+  bool icm_combiner = true;
+  bool icm_suppression = true;
+  double icm_suppression_threshold = 0.7;
+
+  IcmOptions ToIcm() const {
+    IcmOptions o;
+    o.num_workers = num_workers;
+    o.use_threads = use_threads;
+    o.enable_combiner = icm_combiner;
+    o.enable_suppression = icm_suppression;
+    o.suppression_threshold = icm_suppression_threshold;
+    return o;
+  }
+  VcmOptions ToVcm() const {
+    VcmOptions o;
+    o.num_workers = num_workers;
+    o.use_threads = use_threads;
+    return o;
+  }
+  ChlonosOptions ToChlonos() const {
+    ChlonosOptions o;
+    o.num_workers = num_workers;
+    o.use_threads = use_threads;
+    o.batch_size = chlonos_batch_size;
+    return o;
+  }
+  GoffishOptions ToGoffish() const {
+    GoffishOptions o;
+    o.num_workers = num_workers;
+    o.use_threads = use_threads;
+    return o;
+  }
+};
+
+/// A prepared dataset: the interval graph plus the derived structures the
+/// platforms need. Derived graphs are built lazily and cached.
+class Workload {
+ public:
+  explicit Workload(TemporalGraph g) : g_(std::move(g)) {}
+
+  const TemporalGraph& graph() const { return g_; }
+  const TemporalGraph& reversed() const;
+  const TemporalGraph& undirected() const;
+  /// Travel-time-aware transformed graph (path algorithms).
+  const TransformedGraph& transformed() const;
+  /// Zero-travel-time transformed graph (clustering algorithms).
+  const TransformedGraph& transformed_zero() const;
+
+  /// Releases cached derived structures (frees memory between benches).
+  void DropDerived();
+
+ private:
+  TemporalGraph g_;
+  mutable std::optional<TemporalGraph> reversed_;
+  mutable std::optional<TemporalGraph> undirected_;
+  mutable std::optional<TransformedGraph> transformed_;
+  mutable std::optional<TransformedGraph> transformed_zero_;
+};
+
+/// Runs (algorithm, platform) and returns the metrics; results are
+/// discarded. CHECK-fails if the pair is unsupported.
+RunMetrics RunForMetrics(Workload& w, Platform p, Algorithm a,
+                         const RunConfig& config);
+
+// --- Typed runners used by the cross-platform equivalence tests. ---
+// Each returns the per-(vertex, time) result in a canonical form plus the
+// metrics via *metrics (ignored when null).
+
+TemporalResult<int64_t> RunBfsOn(Workload& w, Platform p,
+                                 const RunConfig& config,
+                                 RunMetrics* metrics = nullptr);
+TemporalResult<int64_t> RunWccOn(Workload& w, Platform p,
+                                 const RunConfig& config,
+                                 RunMetrics* metrics = nullptr);
+TemporalResult<int64_t> RunSccOn(Workload& w, Platform p,
+                                 const RunConfig& config,
+                                 RunMetrics* metrics = nullptr);
+TemporalResult<double> RunPrOn(Workload& w, Platform p,
+                               const RunConfig& config,
+                               RunMetrics* metrics = nullptr);
+TemporalResult<int64_t> RunSsspOn(Workload& w, Platform p,
+                                  const RunConfig& config,
+                                  RunMetrics* metrics = nullptr);
+/// Earliest arrival per vertex (kInfCost when unreachable).
+std::vector<int64_t> RunEatOn(Workload& w, Platform p, const RunConfig& config,
+                              RunMetrics* metrics = nullptr);
+/// Minimum journey duration per vertex (kInfCost when unreachable).
+std::vector<int64_t> RunFastOn(Workload& w, Platform p,
+                               const RunConfig& config,
+                               RunMetrics* metrics = nullptr);
+/// Latest departure per vertex (kNegInf when impossible).
+std::vector<int64_t> RunLdOn(Workload& w, Platform p, const RunConfig& config,
+                             RunMetrics* metrics = nullptr);
+/// (earliest arrival, tree parent id) per vertex.
+std::vector<std::pair<int64_t, int64_t>> RunTmstOn(
+    Workload& w, Platform p, const RunConfig& config,
+    RunMetrics* metrics = nullptr);
+TemporalResult<uint8_t> RunRhOn(Workload& w, Platform p,
+                                const RunConfig& config,
+                                RunMetrics* metrics = nullptr);
+TemporalResult<int64_t> RunTcOn(Workload& w, Platform p,
+                                const RunConfig& config,
+                                RunMetrics* metrics = nullptr);
+TemporalResult<double> RunLccOn(Workload& w, Platform p,
+                                const RunConfig& config,
+                                RunMetrics* metrics = nullptr);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ALGORITHMS_RUNNERS_H_

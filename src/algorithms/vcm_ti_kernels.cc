@@ -1,0 +1,46 @@
+#include "algorithms/vcm_ti_kernels.h"
+
+namespace graphite {
+
+std::vector<int64_t> RunVcmSccSnapshot(const TemporalGraph& g,
+                                       const TemporalGraph& reversed,
+                                       TimePoint t, const VcmOptions& options,
+                                       RunMetrics* metrics) {
+  const size_t n = g.num_vertices();
+  SnapshotAdapter fwd_adapter{SnapshotView(&g, t)};
+  SnapshotAdapter bwd_adapter{SnapshotView(&reversed, t)};
+  std::vector<int64_t> assigned(n, -1);
+
+  auto remaining = [&]() {
+    size_t count = 0;
+    for (VertexIdx v = 0; v < n; ++v) {
+      if (fwd_adapter.UnitExists(v) && assigned[v] < 0) ++count;
+    }
+    return count;
+  };
+
+  while (remaining() > 0) {
+    VcmSccForward fwd(fwd_adapter, assigned);
+    std::vector<int64_t> colors;
+    metrics->Merge(RunVcm(fwd_adapter, fwd, options, &colors));
+
+    VcmSccBackward bwd(bwd_adapter, colors, assigned);
+    std::vector<int64_t> labels;
+    metrics->Merge(RunVcm(bwd_adapter, bwd, options, &labels));
+
+    size_t newly = 0;
+    for (VertexIdx v = 0; v < n; ++v) {
+      if (fwd_adapter.UnitExists(v) && assigned[v] < 0 && labels[v] >= 0) {
+        assigned[v] = labels[v];
+        ++newly;
+      }
+    }
+    GRAPHITE_CHECK(newly > 0);
+  }
+  for (VertexIdx v = 0; v < n; ++v) {
+    if (!fwd_adapter.UnitExists(v)) assigned[v] = kInfCost;
+  }
+  return assigned;
+}
+
+}  // namespace graphite

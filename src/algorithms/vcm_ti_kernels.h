@@ -1,0 +1,218 @@
+// Vertex-centric (Pregel) snapshot kernels for the four TI algorithms.
+// These are the classic non-temporal programs; MSB runs them per snapshot
+// and Chlonos runs them per snapshot within a batch — exactly the VCM
+// logic the paper's baselines execute over stock Giraph.
+#ifndef GRAPHITE_ALGORITHMS_VCM_TI_KERNELS_H_
+#define GRAPHITE_ALGORITHMS_VCM_TI_KERNELS_H_
+
+#include <algorithm>
+#include <span>
+
+#include "algorithms/common.h"
+#include "vcm/adapters.h"
+#include "vcm/vcm_engine.h"
+
+namespace graphite {
+
+/// BFS hop distance from a source on one snapshot.
+class VcmBfs {
+ public:
+  using Value = int64_t;
+  using Message = int64_t;
+
+  VcmBfs(const SnapshotAdapter& adapter, VertexId source)
+      : adapter_(&adapter), source_(source) {}
+
+  Value Init(uint32_t) const { return kInfCost; }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, uint32_t u, Value& depth,
+               std::span<const Message> msgs) {
+    if (ctx.superstep() == 0) {
+      if (adapter_->view().graph().vertex_id(u) != source_) return;
+      depth = 0;
+    } else {
+      Message best = kInfCost;
+      for (const Message& m : msgs) best = std::min(best, m);
+      if (best >= depth) return;
+      depth = best;
+    }
+    adapter_->ForEachOutEdge(
+        u, [&](uint32_t dst, const StoredEdge&, EdgePos) {
+          ctx.Send(dst, depth + 1);
+        });
+  }
+
+ private:
+  const SnapshotAdapter* adapter_;
+  VertexId source_;
+};
+
+/// WCC min-label propagation on one snapshot. Run over a snapshot of
+/// MakeUndirected(g) so labels flow both ways.
+class VcmWcc {
+ public:
+  using Value = int64_t;
+  using Message = int64_t;
+
+  explicit VcmWcc(const SnapshotAdapter& adapter) : adapter_(&adapter) {}
+
+  Value Init(uint32_t u) const {
+    return adapter_->view().graph().vertex_id(u);
+  }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, uint32_t u, Value& label,
+               std::span<const Message> msgs) {
+    if (ctx.superstep() > 0) {
+      Message best = kInfCost;
+      for (const Message& m : msgs) best = std::min(best, m);
+      if (best >= label) return;
+      label = best;
+    }
+    adapter_->ForEachOutEdge(u,
+                             [&](uint32_t dst, const StoredEdge&, EdgePos) {
+                               ctx.Send(dst, label);
+                             });
+  }
+
+ private:
+  const SnapshotAdapter* adapter_;
+};
+
+/// PageRank on one snapshot: always-active, fixed iterations,
+/// rank = 0.15 + 0.85 * sum(in-shares), share = rank / outdeg.
+class VcmPageRank {
+ public:
+  using Value = double;
+  using Message = double;
+
+  static constexpr int kIterations = 10;
+
+  explicit VcmPageRank(const SnapshotAdapter& adapter) : adapter_(&adapter) {}
+
+  Value Init(uint32_t) const { return 1.0; }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, uint32_t u, Value& rank,
+               std::span<const Message> msgs) {
+    if (ctx.superstep() > 0) {
+      double sum = 0;
+      for (const Message& m : msgs) sum += m;
+      rank = 0.15 + 0.85 * sum;
+    }
+    int64_t outdeg = 0;
+    adapter_->ForEachOutEdge(
+        u, [&](uint32_t, const StoredEdge&, EdgePos) { ++outdeg; });
+    if (outdeg == 0) return;
+    const double share = rank / static_cast<double>(outdeg);
+    adapter_->ForEachOutEdge(u,
+                             [&](uint32_t dst, const StoredEdge&, EdgePos) {
+                               ctx.Send(dst, share);
+                             });
+  }
+
+ private:
+  const SnapshotAdapter* adapter_;
+};
+
+/// VcmOptions preset matching the PageRank iteration count.
+inline VcmOptions VcmPageRankOptions(VcmOptions base = {}) {
+  base.always_active = true;
+  base.max_supersteps = VcmPageRank::kIterations + 1;
+  return base;
+}
+
+/// SCC forward coloring phase on one snapshot (max-id propagation over
+/// unassigned vertices). `assigned[u]` >= 0 marks finished vertices.
+class VcmSccForward {
+ public:
+  using Value = int64_t;  ///< Color; -1 when assigned/excluded.
+  using Message = int64_t;
+
+  VcmSccForward(const SnapshotAdapter& adapter,
+                const std::vector<int64_t>& assigned)
+      : adapter_(&adapter), assigned_(&assigned) {}
+
+  Value Init(uint32_t u) const {
+    return (*assigned_)[u] >= 0 ? -1
+                                : adapter_->view().graph().vertex_id(u);
+  }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, uint32_t u, Value& color,
+               std::span<const Message> msgs) {
+    if ((*assigned_)[u] >= 0) return;
+    if (ctx.superstep() > 0) {
+      Message best = -1;
+      for (const Message& m : msgs) best = std::max(best, m);
+      if (best <= color) return;
+      color = best;
+    }
+    adapter_->ForEachOutEdge(u,
+                             [&](uint32_t dst, const StoredEdge&, EdgePos) {
+                               ctx.Send(dst, color);
+                             });
+  }
+
+ private:
+  const SnapshotAdapter* adapter_;
+  const std::vector<int64_t>* assigned_;
+};
+
+/// SCC backward labeling phase on the REVERSED snapshot: pivots flood
+/// their color backward through equal-colored unassigned vertices.
+class VcmSccBackward {
+ public:
+  using Value = int64_t;  ///< SCC label; -1 when none.
+  using Message = int64_t;
+
+  VcmSccBackward(const SnapshotAdapter& reversed_adapter,
+                 const std::vector<int64_t>& colors,
+                 const std::vector<int64_t>& assigned)
+      : adapter_(&reversed_adapter), colors_(&colors), assigned_(&assigned) {}
+
+  Value Init(uint32_t u) const {
+    const int64_t vid = adapter_->view().graph().vertex_id(u);
+    return ((*assigned_)[u] < 0 && (*colors_)[u] == vid) ? vid : -1;
+  }
+
+  template <typename Ctx>
+  void Compute(Ctx& ctx, uint32_t u, Value& label,
+               std::span<const Message> msgs) {
+    if ((*assigned_)[u] >= 0) return;
+    if (ctx.superstep() > 0) {
+      if (label != -1) return;
+      for (const Message& m : msgs) {
+        if (m == (*colors_)[u]) {
+          label = m;
+          break;
+        }
+      }
+      if (label == -1) return;
+    } else if (label == -1) {
+      return;
+    }
+    adapter_->ForEachOutEdge(u,
+                             [&](uint32_t dst, const StoredEdge&, EdgePos) {
+                               ctx.Send(dst, label);
+                             });
+  }
+
+ private:
+  const SnapshotAdapter* adapter_;
+  const std::vector<int64_t>* colors_;
+  const std::vector<int64_t>* assigned_;
+};
+
+/// Runs forward-backward-coloring SCC on ONE snapshot with VCM, returning
+/// per-vertex labels (max member id; kInfCost for inactive vertices) and
+/// folding phase metrics into *metrics.
+std::vector<int64_t> RunVcmSccSnapshot(const TemporalGraph& g,
+                                       const TemporalGraph& reversed,
+                                       TimePoint t, const VcmOptions& options,
+                                       RunMetrics* metrics);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ALGORITHMS_VCM_TI_KERNELS_H_

@@ -1,0 +1,283 @@
+// Chlonos (CHL) — the paper's clone of Chronos (§VII-A3): enhances MSB by
+// loading a BATCH of snapshots into one vectorized in-memory layout and
+// executing the per-snapshot VCM logic for the whole batch in lock-step
+// supersteps. Compute calls and state stay separate per (snapshot,
+// vertex), but the messaging phase identifies duplicate messages pushed
+// to ADJACENT time-points of the same sink vertex and replaces each run
+// with one message spanning the interval — saving network traffic and
+// memory, which is exactly Chronos's sharing.
+#ifndef GRAPHITE_BASELINES_CHLONOS_H_
+#define GRAPHITE_BASELINES_CHLONOS_H_
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "algorithms/common.h"
+#include "algorithms/vcm_ti_kernels.h"
+#include "baselines/msb.h"
+#include "icm/message.h"
+
+namespace graphite {
+
+struct ChlonosOptions {
+  int num_workers = 4;
+  bool use_threads = false;
+  /// Snapshots per in-memory batch (the paper sizes this by what fits in
+  /// distributed memory; e.g. 6 snapshots per batch for Twitter).
+  int batch_size = 8;
+  bool always_active = false;
+  int max_supersteps = std::numeric_limits<int>::max();
+  /// Snapshot window to process ([window_begin, window_end)); -1 means the
+  /// full horizon. Used by the batch-level SCC driver.
+  TimePoint window_begin = 0;
+  TimePoint window_end = -1;
+};
+
+/// Send-side context for one (snapshot, worker): records messages with
+/// their snapshot so the barrier can run-length share them.
+template <typename Message>
+class ChlonosContext {
+ public:
+  struct Pending {
+    uint32_t dst;
+    TimePoint t;
+    Message payload;
+  };
+
+  ChlonosContext(int superstep, TimePoint t, std::vector<Pending>* outbox)
+      : superstep_(superstep), t_(t), outbox_(outbox) {}
+
+  int superstep() const { return superstep_; }
+
+  /// Sends within the current snapshot (TI kernels never cross time).
+  void Send(uint32_t dst, const Message& msg) {
+    outbox_->push_back({dst, t_, msg});
+  }
+
+ private:
+  int superstep_;
+  TimePoint t_;
+  std::vector<Pending>* outbox_;
+};
+
+/// Runs `make_program(adapter)`-built kernels over every snapshot of `g`
+/// in batches, with cross-snapshot message sharing. Value extraction and
+/// metrics mirror MSB so outcomes are directly comparable.
+template <typename Program, typename MakeProgram>
+BaselineOutcome<typename Program::Value> RunChlonos(
+    const TemporalGraph& g, const ChlonosOptions& options,
+    MakeProgram&& make_program) {
+  using Value = typename Program::Value;
+  using Message = typename Program::Message;
+  using Pending = typename ChlonosContext<Message>::Pending;
+
+  const size_t n = g.num_vertices();
+  const int num_workers = options.num_workers;
+  HashPartitioner partitioner(num_workers);
+  std::vector<int> worker_of(n);
+  std::vector<std::vector<VertexIdx>> vertices_by_worker(num_workers);
+  for (VertexIdx v = 0; v < n; ++v) {
+    worker_of[v] = partitioner.WorkerOf(g.vertex_id(v));
+    vertices_by_worker[worker_of[v]].push_back(v);
+  }
+
+  BaselineOutcome<Value> out;
+  out.result.resize(n);
+  const int64_t run_start = NowNanos();
+
+  const TimePoint window_end =
+      options.window_end < 0 ? g.horizon() : options.window_end;
+  for (TimePoint b0 = options.window_begin; b0 < window_end;
+       b0 += options.batch_size) {
+    const TimePoint b1 = std::min<TimePoint>(b0 + options.batch_size,
+                                             window_end);
+    const int B = static_cast<int>(b1 - b0);
+
+    // Vectorized batch layout: unit index = local_t * n + v.
+    std::vector<SnapshotAdapter> adapters;
+    adapters.reserve(B);
+    for (int k = 0; k < B; ++k) {
+      adapters.emplace_back(SnapshotView(&g, b0 + k));
+    }
+    std::vector<Program> programs;
+    programs.reserve(B);
+    for (int k = 0; k < B; ++k) programs.push_back(make_program(adapters[k]));
+
+    auto unit = [n](int k, VertexIdx v) { return k * n + v; };
+    std::vector<Value> values(static_cast<size_t>(B) * n);
+    std::vector<std::vector<Message>> inbox(static_cast<size_t>(B) * n);
+    std::vector<uint8_t> has_mail(static_cast<size_t>(B) * n, 0);
+    for (int k = 0; k < B; ++k) {
+      for (VertexIdx v = 0; v < n; ++v) {
+        if (adapters[k].UnitExists(v)) {
+          values[unit(k, v)] = programs[k].Init(v);
+        }
+      }
+    }
+
+    for (int superstep = 0; superstep < options.max_supersteps; ++superstep) {
+      SuperstepMetrics ss;
+      ss.worker_compute_ns.assign(num_workers, 0);
+      ss.worker_in_bytes.assign(num_workers, 0);
+      std::vector<std::vector<Pending>> outbox(num_workers);
+      std::vector<int64_t> calls(num_workers, 0);
+
+      RunWorkers(num_workers, options.use_threads, [&](int w) {
+        const int64_t t0 = NowNanos();
+        for (int k = 0; k < B; ++k) {
+          ChlonosContext<Message> ctx(superstep, b0 + k, &outbox[w]);
+          for (VertexIdx v : vertices_by_worker[w]) {
+            if (!adapters[k].UnitExists(v)) continue;
+            const size_t idx = unit(k, v);
+            const bool active =
+                superstep == 0 || options.always_active || has_mail[idx];
+            if (!active) continue;
+            programs[k].Compute(ctx, v, values[idx],
+                                std::span<const Message>(inbox[idx]));
+            ++calls[w];
+          }
+        }
+        ss.worker_compute_ns[w] = NowNanos() - t0;
+      });
+      ss.worker_compute_calls = calls;
+      for (int w = 0; w < num_workers; ++w) ss.compute_calls += calls[w];
+
+      const int64_t barrier_t = NowNanos();
+      for (size_t idx = 0; idx < inbox.size(); ++idx) {
+        if (has_mail[idx]) inbox[idx].clear();
+        has_mail[idx] = 0;
+      }
+      ss.barrier_ns = NowNanos() - barrier_t;
+
+      // Messaging with Chronos-style sharing: a run of identical payloads
+      // to the same sink at consecutive time-points becomes ONE interval
+      // message on the wire.
+      const int64_t msg_t = NowNanos();
+      bool any_message = false;
+      for (int src_w = 0; src_w < num_workers; ++src_w) {
+        auto& pending = outbox[src_w];
+        if (pending.empty()) continue;
+        // Serialize payloads once into a shared arena (offset/length
+        // slices) so the share-grouping sorts without per-message
+        // allocations.
+        Writer arena;
+        std::vector<std::pair<uint32_t, uint32_t>> slices(pending.size());
+        for (size_t i = 0; i < pending.size(); ++i) {
+          const uint32_t begin = static_cast<uint32_t>(arena.size());
+          MessageTraits<Message>::Write(arena, pending[i].payload);
+          slices[i] = {begin, static_cast<uint32_t>(arena.size()) - begin};
+        }
+        const std::string& bytes = arena.buffer();
+        auto slice_cmp = [&](uint32_t a, uint32_t b) {
+          const auto [ao, al] = slices[a];
+          const auto [bo, bl] = slices[b];
+          const int c = std::memcmp(bytes.data() + ao, bytes.data() + bo,
+                                    std::min(al, bl));
+          if (c != 0) return c < 0;
+          return al < bl;
+        };
+        auto slice_eq = [&](uint32_t a, uint32_t b) {
+          const auto [ao, al] = slices[a];
+          const auto [bo, bl] = slices[b];
+          return al == bl &&
+                 std::memcmp(bytes.data() + ao, bytes.data() + bo, al) == 0;
+        };
+        std::vector<uint32_t> order(pending.size());
+        for (uint32_t i = 0; i < pending.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+          if (pending[a].dst != pending[b].dst) {
+            return pending[a].dst < pending[b].dst;
+          }
+          if (!slice_eq(a, b)) return slice_cmp(a, b);
+          return pending[a].t < pending[b].t;
+        });
+        size_t i = 0;
+        while (i < order.size()) {
+          const Pending& head = pending[order[i]];
+          TimePoint t_end = head.t + 1;
+          size_t j = i + 1;
+          while (j < order.size()) {
+            const Pending& next = pending[order[j]];
+            if (next.dst != head.dst || next.t != t_end ||
+                !slice_eq(order[j], order[i])) {
+              break;
+            }
+            ++t_end;
+            ++j;
+          }
+          // One shared wire message covering [head.t, t_end):
+          // dst + interval + payload slice.
+          const int64_t wire_size =
+              static_cast<int64_t>(VarintLength(head.dst)) +
+              static_cast<int64_t>(IntervalWireSize(Interval(head.t, t_end))) +
+              slices[order[i]].second;
+          ss.messages += 1;
+          ss.message_bytes += wire_size;
+          const int dst_w = worker_of[head.dst];
+          if (dst_w != src_w) ss.worker_in_bytes[dst_w] += wire_size;
+          // Deliver (expand back to per-snapshot inboxes).
+          for (TimePoint t = head.t; t < t_end; ++t) {
+            const size_t idx = unit(static_cast<int>(t - b0), head.dst);
+            inbox[idx].push_back(head.payload);
+            has_mail[idx] = 1;
+          }
+          any_message = true;
+          i = j;
+        }
+      }
+      ss.messaging_ns = NowNanos() - msg_t;
+      out.metrics.Accumulate(ss);
+      if (!any_message && !options.always_active) break;
+    }
+
+    for (int k = 0; k < B; ++k) {
+      for (VertexIdx v = 0; v < n; ++v) {
+        if (adapters[k].UnitExists(v)) {
+          out.result[v].Set(Interval(b0 + k, b0 + k + 1), values[unit(k, v)]);
+        }
+      }
+    }
+  }
+
+  out.metrics.makespan_ns = NowNanos() - run_start;
+  for (auto& map : out.result) map.Coalesce();
+  return out;
+}
+
+/// Chlonos drivers mirroring the MSB entry points.
+inline BaselineOutcome<int64_t> RunChlonosBfs(const TemporalGraph& g,
+                                              VertexId source,
+                                              const ChlonosOptions& options) {
+  return RunChlonos<VcmBfs>(g, options, [&](const SnapshotAdapter& a) {
+    return VcmBfs(a, source);
+  });
+}
+
+inline BaselineOutcome<int64_t> RunChlonosWcc(const TemporalGraph& undirected,
+                                              const ChlonosOptions& options) {
+  return RunChlonos<VcmWcc>(undirected, options,
+                            [&](const SnapshotAdapter& a) { return VcmWcc(a); });
+}
+
+inline BaselineOutcome<double> RunChlonosPageRank(
+    const TemporalGraph& g, const ChlonosOptions& options) {
+  ChlonosOptions pr = options;
+  pr.always_active = true;
+  pr.max_supersteps = VcmPageRank::kIterations + 1;
+  return RunChlonos<VcmPageRank>(
+      g, pr, [&](const SnapshotAdapter& a) { return VcmPageRank(a); });
+}
+
+/// Chlonos SCC: the forward/backward coloring loop runs at batch level,
+/// with per-snapshot assigned/color vectors. Declared here, defined in
+/// chlonos.cc.
+BaselineOutcome<int64_t> RunChlonosScc(const TemporalGraph& g,
+                                       const TemporalGraph& reversed,
+                                       const ChlonosOptions& options);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_BASELINES_CHLONOS_H_

@@ -1,0 +1,72 @@
+// Wire-format traits for message payloads. Every message type that crosses
+// a worker boundary needs a MessageTraits specialization; the engines use
+// it to serialize outgoing traffic into per-worker byte buffers, which is
+// also how message-byte metrics are measured.
+#ifndef GRAPHITE_ENGINE_MESSAGE_TRAITS_H_
+#define GRAPHITE_ENGINE_MESSAGE_TRAITS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/serde.h"
+
+namespace graphite {
+
+template <typename T>
+struct MessageTraits;  // Specialize per payload type.
+
+template <>
+struct MessageTraits<int64_t> {
+  static void Write(Writer& w, const int64_t& v) { w.WriteI64(v); }
+  static int64_t Read(Reader& r) { return r.ReadI64(); }
+};
+
+template <>
+struct MessageTraits<uint8_t> {
+  static void Write(Writer& w, const uint8_t& v) { w.WriteByte(v); }
+  static uint8_t Read(Reader& r) { return r.ReadByte(); }
+};
+
+template <>
+struct MessageTraits<double> {
+  static void Write(Writer& w, const double& v) {
+    // Bit-cast through an integer; doubles do not varint-compress well but
+    // PR ranks are the only doubles on the wire.
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    w.WriteU64(bits);
+  }
+  static double Read(Reader& r) {
+    uint64_t bits = r.ReadU64();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+template <>
+struct MessageTraits<std::pair<int64_t, int64_t>> {
+  static void Write(Writer& w, const std::pair<int64_t, int64_t>& v) {
+    w.WriteI64(v.first);
+    w.WriteI64(v.second);
+  }
+  static std::pair<int64_t, int64_t> Read(Reader& r) {
+    int64_t a = r.ReadI64();
+    int64_t b = r.ReadI64();
+    return {a, b};
+  }
+};
+
+template <>
+struct MessageTraits<std::vector<int64_t>> {
+  static void Write(Writer& w, const std::vector<int64_t>& v) {
+    w.WriteI64Vec(v);
+  }
+  static std::vector<int64_t> Read(Reader& r) { return r.ReadI64Vec(); }
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ENGINE_MESSAGE_TRAITS_H_

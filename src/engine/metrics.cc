@@ -1,0 +1,78 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace graphite {
+
+void RunMetrics::Accumulate(const SuperstepMetrics& ss) {
+  ++supersteps;
+  compute_calls += ss.compute_calls;
+  scatter_calls += ss.scatter_calls;
+  messages += ss.messages;
+  message_bytes += ss.message_bytes;
+  for (int64_t ns : ss.worker_compute_ns) compute_ns += ns;
+  messaging_ns += ss.messaging_ns;
+  barrier_ns += ss.barrier_ns;
+  per_superstep.push_back(ss);
+}
+
+void RunMetrics::Merge(const RunMetrics& other) {
+  supersteps += other.supersteps;
+  compute_calls += other.compute_calls;
+  scatter_calls += other.scatter_calls;
+  messages += other.messages;
+  message_bytes += other.message_bytes;
+  compute_ns += other.compute_ns;
+  messaging_ns += other.messaging_ns;
+  barrier_ns += other.barrier_ns;
+  makespan_ns += other.makespan_ns;
+  per_superstep.insert(per_superstep.end(), other.per_superstep.begin(),
+                       other.per_superstep.end());
+}
+
+int64_t RunMetrics::SimulatedMakespanNs() const {
+  return SimulatedMakespanNs(ClusterModel());
+}
+
+int64_t RunMetrics::SimulatedMakespanNs(const ClusterModel& model) const {
+  int64_t total = 0;
+  for (const SuperstepMetrics& ss : per_superstep) {
+    int64_t max_compute = 0;
+    if (model.per_call_ns > 0) {
+      for (int64_t calls : ss.worker_compute_calls) {
+        max_compute = std::max(max_compute, calls * model.per_call_ns);
+      }
+    } else {
+      for (int64_t ns : ss.worker_compute_ns) {
+        max_compute = std::max(max_compute, ns);
+      }
+    }
+    int64_t max_bytes = 0;
+    for (int64_t b : ss.worker_in_bytes) max_bytes = std::max(max_bytes, b);
+    const int64_t link_ns = static_cast<int64_t>(
+        static_cast<double>(max_bytes) / model.network_bytes_per_sec * 1e9);
+    const int64_t per_msg_ns =
+        ss.messages * model.per_message_ns /
+        std::max(1, model.num_workers);
+    total += max_compute + link_ns + per_msg_ns + model.barrier_ns;
+  }
+  return total;
+}
+
+std::string RunMetrics::ToString() const {
+  std::string out;
+  out += "supersteps=" + std::to_string(supersteps);
+  out += " compute_calls=" + FormatCount(compute_calls);
+  out += " scatter_calls=" + FormatCount(scatter_calls);
+  out += " messages=" + FormatCount(messages);
+  out += " bytes=" + FormatCount(message_bytes);
+  out += " compute_ms=" + FormatDouble(static_cast<double>(compute_ns) / 1e6);
+  out +=
+      " messaging_ms=" + FormatDouble(static_cast<double>(messaging_ns) / 1e6);
+  out += " makespan_ms=" + FormatDouble(static_cast<double>(makespan_ns) / 1e6);
+  return out;
+}
+
+}  // namespace graphite

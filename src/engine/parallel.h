@@ -1,0 +1,33 @@
+// Worker execution helper. The engines run one task per logical worker;
+// with use_threads the tasks run on real std::threads, otherwise they run
+// sequentially in worker order ("sequential-simulated" mode). Sequential
+// mode is the default: it is fully deterministic, per-worker timings are
+// not distorted by oversubscription of the host cores, and the simulated
+// makespan model (RunMetrics::SimulatedMakespanNs) supplies the
+// parallelism. Results are identical in both modes; tests check that.
+#ifndef GRAPHITE_ENGINE_PARALLEL_H_
+#define GRAPHITE_ENGINE_PARALLEL_H_
+
+#include <thread>
+#include <vector>
+
+namespace graphite {
+
+/// Runs fn(w) for each worker w in [0, num_workers).
+template <typename Fn>
+void RunWorkers(int num_workers, bool use_threads, Fn&& fn) {
+  if (!use_threads || num_workers == 1) {
+    for (int w = 0; w < num_workers; ++w) fn(w);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&fn, w] { fn(w); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ENGINE_PARALLEL_H_

@@ -1,0 +1,229 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphite {
+
+void TemporalGraphBuilder::AddVertex(VertexId vid, const Interval& interval) {
+  vertices_.push_back({vid, interval});
+}
+
+void TemporalGraphBuilder::AddEdge(EdgeId eid, VertexId src, VertexId dst,
+                                   const Interval& interval) {
+  edges_.push_back({eid, src, dst, interval});
+}
+
+void TemporalGraphBuilder::SetVertexProperty(VertexId vid,
+                                             const std::string& label,
+                                             const Interval& interval,
+                                             PropValue value) {
+  vertex_props_.push_back({vid, label, interval, value});
+}
+
+void TemporalGraphBuilder::SetEdgeProperty(EdgeId eid, const std::string& label,
+                                           const Interval& interval,
+                                           PropValue value) {
+  edge_props_.push_back({eid, label, interval, value});
+}
+
+Result<TemporalGraph> TemporalGraphBuilder::Build(
+    const BuilderOptions& options) {
+  TemporalGraph g;
+
+  // --- Vertices (Constraint 1: unique vids, one contiguous lifespan). ---
+  g.vertex_ids_.reserve(vertices_.size());
+  g.vertex_intervals_.reserve(vertices_.size());
+  g.vid_to_idx_.reserve(vertices_.size());
+  for (const PendingVertex& v : vertices_) {
+    if (!v.interval.IsValid()) {
+      return Status::InvalidArgument("vertex " + std::to_string(v.vid) +
+                                     " has invalid lifespan " +
+                                     v.interval.ToString());
+    }
+    auto [it, inserted] =
+        g.vid_to_idx_.emplace(v.vid, static_cast<VertexIdx>(g.vertex_ids_.size()));
+    if (!inserted) {
+      return Status::ConstraintViolation(
+          "Constraint 1: duplicate vertex id " + std::to_string(v.vid));
+    }
+    g.vertex_ids_.push_back(v.vid);
+    g.vertex_intervals_.push_back(v.interval);
+  }
+
+  // --- Edges (Constraint 1 uniqueness, Constraint 2 referential
+  // integrity: edge lifespan contained in both endpoint lifespans). ---
+  std::unordered_map<EdgeId, EdgePos> eid_to_pos;
+  eid_to_pos.reserve(edges_.size());
+  std::vector<uint32_t> out_degree(g.num_vertices() + 1, 0);
+  struct ResolvedEdge {
+    EdgeId eid;
+    VertexIdx src;
+    VertexIdx dst;
+    Interval interval;
+  };
+  std::vector<ResolvedEdge> resolved;
+  resolved.reserve(edges_.size());
+  std::unordered_set<EdgeId> seen_eids;
+  seen_eids.reserve(edges_.size());
+  for (const PendingEdge& e : edges_) {
+    if (!e.interval.IsValid()) {
+      return Status::InvalidArgument("edge " + std::to_string(e.eid) +
+                                     " has invalid lifespan " +
+                                     e.interval.ToString());
+    }
+    if (!seen_eids.insert(e.eid).second) {
+      return Status::ConstraintViolation("Constraint 1: duplicate edge id " +
+                                         std::to_string(e.eid));
+    }
+    auto src = g.IndexOf(e.src);
+    auto dst = g.IndexOf(e.dst);
+    if (!src || !dst) {
+      return Status::ConstraintViolation(
+          "Constraint 2: edge " + std::to_string(e.eid) +
+          " references missing vertex");
+    }
+    if (options.validate) {
+      if (!e.interval.ContainedIn(g.vertex_interval(*src)) ||
+          !e.interval.ContainedIn(g.vertex_interval(*dst))) {
+        return Status::ConstraintViolation(
+            "Constraint 2: edge " + std::to_string(e.eid) + " lifespan " +
+            e.interval.ToString() + " not contained in endpoint lifespans");
+      }
+    }
+    resolved.push_back({e.eid, *src, *dst, e.interval});
+    ++out_degree[*src];
+  }
+
+  // CSR out-adjacency, edges sorted by (src, eid) for determinism.
+  std::stable_sort(resolved.begin(), resolved.end(),
+                   [](const ResolvedEdge& a, const ResolvedEdge& b) {
+                     return a.src != b.src ? a.src < b.src : a.eid < b.eid;
+                   });
+  g.out_offsets_.assign(g.num_vertices() + 1, 0);
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    g.out_offsets_[v + 1] = g.out_offsets_[v] + out_degree[v];
+  }
+  g.edges_.reserve(resolved.size());
+  for (const ResolvedEdge& e : resolved) {
+    eid_to_pos.emplace(e.eid, static_cast<EdgePos>(g.edges_.size()));
+    g.edges_.push_back({e.eid, e.src, e.dst, e.interval});
+  }
+
+  // CSR in-adjacency over edge positions.
+  std::vector<uint32_t> in_degree(g.num_vertices() + 1, 0);
+  for (const StoredEdge& e : g.edges_) ++in_degree[e.dst];
+  g.in_offsets_.assign(g.num_vertices() + 1, 0);
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    g.in_offsets_[v + 1] = g.in_offsets_[v] + in_degree[v];
+  }
+  g.in_positions_.assign(g.edges_.size(), 0);
+  std::vector<uint32_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (EdgePos pos = 0; pos < g.edges_.size(); ++pos) {
+    g.in_positions_[cursor[g.edges_[pos].dst]++] = pos;
+  }
+
+  // --- Properties (Constraint 3: property interval contained in entity
+  // lifespan; Def. 1: no overlapping values for one label). ---
+  auto intern = [&g](const std::string& name) -> LabelId {
+    auto it = g.label_to_id_.find(name);
+    if (it != g.label_to_id_.end()) return it->second;
+    LabelId id = static_cast<LabelId>(g.labels_.size());
+    g.labels_.push_back(name);
+    g.label_to_id_.emplace(name, id);
+    return id;
+  };
+  g.vertex_props_.resize(g.num_vertices());
+  g.edge_props_.resize(g.num_edges());
+
+  auto apply_prop =
+      [&](std::vector<std::pair<LabelId, IntervalMap<PropValue>>>& props,
+          const PendingProp& p, const Interval& entity_span,
+          const char* kind) -> Status {
+    if (!p.interval.IsValid()) {
+      return Status::InvalidArgument("property interval invalid: " +
+                                     p.interval.ToString());
+    }
+    if (options.validate && !p.interval.ContainedIn(entity_span)) {
+      return Status::ConstraintViolation(
+          std::string("Constraint 3: ") + kind + " property '" + p.label +
+          "' interval " + p.interval.ToString() +
+          " not contained in entity lifespan " + entity_span.ToString());
+    }
+    LabelId label = intern(p.label);
+    IntervalMap<PropValue>* map = nullptr;
+    for (auto& [l, m] : props) {
+      if (l == label) {
+        map = &m;
+        break;
+      }
+    }
+    if (map == nullptr) {
+      props.emplace_back(label, IntervalMap<PropValue>());
+      map = &props.back().second;
+    }
+    if (options.validate) {
+      bool overlap = false;
+      map->ForEachIntersecting(p.interval,
+                               [&](const Interval&, PropValue) { overlap = true; });
+      if (overlap) {
+        return Status::ConstraintViolation(
+            std::string("Def. 1: overlapping values for ") + kind +
+            " property '" + p.label + "' at " + p.interval.ToString());
+      }
+    }
+    map->Set(p.interval, p.value);
+    return Status::OK();
+  };
+
+  for (const PendingProp& p : vertex_props_) {
+    auto idx = g.IndexOf(p.entity);
+    if (!idx) {
+      return Status::ConstraintViolation(
+          "Constraint 3: property on missing vertex " +
+          std::to_string(p.entity));
+    }
+    GRAPHITE_RETURN_NOT_OK(apply_prop(g.vertex_props_[*idx], p,
+                                      g.vertex_interval(*idx), "vertex"));
+  }
+  for (const PendingProp& p : edge_props_) {
+    auto it = eid_to_pos.find(p.entity);
+    if (it == eid_to_pos.end()) {
+      return Status::ConstraintViolation(
+          "Constraint 3: property on missing edge " + std::to_string(p.entity));
+    }
+    GRAPHITE_RETURN_NOT_OK(apply_prop(g.edge_props_[it->second], p,
+                                      g.edges_[it->second].interval, "edge"));
+  }
+
+  // --- Horizon. ---
+  if (options.horizon > 0) {
+    g.horizon_ = options.horizon;
+  } else {
+    TimePoint max_end = 0;
+    auto consider = [&max_end](const Interval& i) {
+      if (i.end != kTimeMax && i.end > max_end) max_end = i.end;
+      if (i.start != kTimeMin && i.start + 1 > max_end) max_end = i.start + 1;
+    };
+    for (const Interval& i : g.vertex_intervals_) consider(i);
+    for (const StoredEdge& e : g.edges_) consider(e.interval);
+    for (const auto& per : g.vertex_props_) {
+      for (const auto& [l, m] : per) {
+        (void)l;
+        for (const auto& entry : m.entries()) consider(entry.interval);
+      }
+    }
+    for (const auto& per : g.edge_props_) {
+      for (const auto& [l, m] : per) {
+        (void)l;
+        for (const auto& entry : m.entries()) consider(entry.interval);
+      }
+    }
+    g.horizon_ = max_end > 0 ? max_end : 1;
+  }
+
+  return g;
+}
+
+}  // namespace graphite

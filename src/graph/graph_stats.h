@@ -1,0 +1,38 @@
+// Dataset-characteristics statistics reproducing the columns of the
+// paper's Table 1: snapshot count, largest-snapshot size, interval-graph
+// size, transformed-graph size, cumulative multi-snapshot size, and the
+// average lifespans of vertices, edges and properties.
+#ifndef GRAPHITE_GRAPH_GRAPH_STATS_H_
+#define GRAPHITE_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/temporal_graph.h"
+#include "graph/transformed_graph.h"
+
+namespace graphite {
+
+struct GraphStats {
+  int64_t num_snapshots = 0;        ///< Horizon T.
+  size_t largest_snapshot_v = 0;    ///< Max over t of active vertices.
+  size_t largest_snapshot_e = 0;    ///< Max over t of active edges.
+  size_t interval_v = 0;            ///< Interval-graph vertices.
+  size_t interval_e = 0;            ///< Interval-graph edges.
+  size_t transformed_v = 0;         ///< Transformed-graph replicas.
+  size_t transformed_e = 0;         ///< Transformed-graph edges.
+  size_t multi_snapshot_v = 0;      ///< Sum over t of active vertices.
+  size_t multi_snapshot_e = 0;      ///< Sum over t of active edges.
+  double avg_vertex_lifespan = 0;   ///< Mean clipped vertex lifespan.
+  double avg_edge_lifespan = 0;     ///< Mean clipped edge lifespan.
+  double avg_prop_lifespan = 0;     ///< Mean clipped property-interval span.
+};
+
+/// Computes all Table 1 statistics in one pass (plus the transformed-graph
+/// dry-run count when `include_transformed` is set — that count enumerates
+/// per-time-point replicas and can dominate runtime for long graphs).
+GraphStats ComputeGraphStats(const TemporalGraph& g,
+                             bool include_transformed = true);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_GRAPH_GRAPH_STATS_H_

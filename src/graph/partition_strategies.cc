@@ -1,0 +1,153 @@
+#include "graph/partition_strategies.h"
+
+#include <algorithm>
+
+#include "graph/partitioner.h"
+
+namespace graphite {
+
+const char* PartitionStrategyName(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kHash:
+      return "hash";
+    case PartitionStrategy::kRange:
+      return "range";
+    case PartitionStrategy::kBlock:
+      return "block";
+    case PartitionStrategy::kGreedyLdg:
+      return "greedy-ldg";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<int> RangePartition(const TemporalGraph& g, int num_workers) {
+  // Contiguous external-id ranges of equal width.
+  VertexId min_id = 0, max_id = 0;
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    min_id = std::min(min_id, g.vertex_id(v));
+    max_id = std::max(max_id, g.vertex_id(v));
+  }
+  const double width =
+      static_cast<double>(max_id - min_id + 1) / num_workers;
+  std::vector<int> out(g.num_vertices());
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    int w = static_cast<int>(
+        static_cast<double>(g.vertex_id(v) - min_id) / width);
+    out[v] = std::clamp(w, 0, num_workers - 1);
+  }
+  return out;
+}
+
+std::vector<int> BlockPartition(const TemporalGraph& g, int num_workers) {
+  // Equal-cardinality blocks of the internal index order.
+  std::vector<int> out(g.num_vertices());
+  const size_t per =
+      (g.num_vertices() + static_cast<size_t>(num_workers) - 1) /
+      static_cast<size_t>(num_workers);
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    out[v] = static_cast<int>(v / per);
+  }
+  return out;
+}
+
+std::vector<int> GreedyLdgPartition(const TemporalGraph& g, int num_workers) {
+  // Linear Deterministic Greedy: stream vertices in index order; place
+  // each on the worker holding most of its already-placed neighbors
+  // (lifespan-weighted), scaled by remaining capacity.
+  const size_t n = g.num_vertices();
+  const double capacity =
+      static_cast<double>(n) / num_workers + 1.0;
+  std::vector<int> out(n, -1);
+  std::vector<double> load(num_workers, 0);
+  std::vector<double> affinity(num_workers, 0);
+  for (VertexIdx v = 0; v < n; ++v) {
+    std::fill(affinity.begin(), affinity.end(), 0.0);
+    auto tally = [&](VertexIdx other, const Interval& span) {
+      if (other < v && out[other] >= 0) {
+        affinity[out[other]] +=
+            static_cast<double>(g.ClipToHorizon(span).Length());
+      }
+    };
+    for (const StoredEdge& e : g.OutEdges(v)) tally(e.dst, e.interval);
+    for (EdgePos pos : g.InEdgePositions(v)) {
+      tally(g.edge(pos).src, g.edge(pos).interval);
+    }
+    int best = 0;
+    double best_score = -1;
+    for (int w = 0; w < num_workers; ++w) {
+      const double score =
+          (affinity[w] + 1e-3) * (1.0 - load[w] / capacity);
+      if (score > best_score) {
+        best_score = score;
+        best = w;
+      }
+    }
+    out[v] = best;
+    load[best] += 1.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> ComputePartition(const TemporalGraph& g,
+                                  PartitionStrategy strategy,
+                                  int num_workers) {
+  GRAPHITE_CHECK(num_workers >= 1);
+  switch (strategy) {
+    case PartitionStrategy::kHash: {
+      HashPartitioner p(num_workers);
+      std::vector<int> out(g.num_vertices());
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        out[v] = p.WorkerOf(g.vertex_id(v));
+      }
+      return out;
+    }
+    case PartitionStrategy::kRange:
+      return RangePartition(g, num_workers);
+    case PartitionStrategy::kBlock:
+      return BlockPartition(g, num_workers);
+    case PartitionStrategy::kGreedyLdg:
+      return GreedyLdgPartition(g, num_workers);
+  }
+  return {};
+}
+
+PartitionQuality EvaluatePartition(const TemporalGraph& g,
+                                   const std::vector<int>& worker_of,
+                                   int num_workers) {
+  GRAPHITE_CHECK(worker_of.size() == g.num_vertices());
+  PartitionQuality q;
+  int64_t total_edge_points = 0;
+  for (EdgePos pos = 0; pos < g.num_edges(); ++pos) {
+    const StoredEdge& e = g.edge(pos);
+    const int64_t points = g.ClipToHorizon(e.interval).Length();
+    total_edge_points += points;
+    if (worker_of[e.src] != worker_of[e.dst]) {
+      q.temporal_edge_cut += points;
+    }
+  }
+  q.cut_fraction =
+      total_edge_points > 0
+          ? static_cast<double>(q.temporal_edge_cut) /
+                static_cast<double>(total_edge_points)
+          : 0;
+  std::vector<int64_t> load(num_workers, 0);
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    load[worker_of[v]] += g.ClipToHorizon(g.vertex_interval(v)).Length();
+  }
+  int64_t max_load = 0, sum_load = 0;
+  for (int64_t l : load) {
+    max_load = std::max(max_load, l);
+    sum_load += l;
+  }
+  q.load_imbalance =
+      sum_load > 0 ? static_cast<double>(max_load) * num_workers /
+                         static_cast<double>(sum_load)
+                   : 0;
+  return q;
+}
+
+}  // namespace graphite

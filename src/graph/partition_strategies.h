@@ -1,0 +1,54 @@
+// Partitioning strategies and quality metrics (paper §VIII future work:
+// "explore storage and partitioning strategies"). Produces explicit
+// vertex->worker assignments the ICM engine can run with, plus the
+// temporal quality measures that explain their performance:
+//   * hash       — Giraph's default (the paper's setup),
+//   * range      — contiguous external-id ranges,
+//   * block      — equal-cardinality contiguous blocks of the internal
+//                  index order (locality-preserving for generators that
+//                  emit neighborhoods with nearby ids, e.g. road grids),
+//   * greedy-ldg — one-pass Linear Deterministic Greedy streaming
+//                  partitioner (Stanton & Kliot style): place each vertex
+//                  with the neighbor-richest worker, penalized by load.
+//
+// Quality metrics are TEMPORAL: an edge crossing workers costs one unit
+// per time-point of its lifespan (that is what BSP messaging pays).
+#ifndef GRAPHITE_GRAPH_PARTITION_STRATEGIES_H_
+#define GRAPHITE_GRAPH_PARTITION_STRATEGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace graphite {
+
+enum class PartitionStrategy { kHash, kRange, kBlock, kGreedyLdg };
+
+const char* PartitionStrategyName(PartitionStrategy s);
+
+/// Computes a vertex->worker assignment (indexed by VertexIdx).
+std::vector<int> ComputePartition(const TemporalGraph& g,
+                                  PartitionStrategy strategy,
+                                  int num_workers);
+
+/// Temporal quality of an assignment.
+struct PartitionQuality {
+  /// Sum over cross-worker edges of their clipped lifespan length — the
+  /// number of (edge, time-point) pairs whose message must cross the
+  /// network.
+  int64_t temporal_edge_cut = 0;
+  /// Same, as a fraction of all (edge, time-point) pairs.
+  double cut_fraction = 0;
+  /// max worker load / mean worker load, with load = sum of clipped
+  /// vertex lifespans (the data-parallel work a worker owns over time).
+  double load_imbalance = 0;
+};
+
+PartitionQuality EvaluatePartition(const TemporalGraph& g,
+                                   const std::vector<int>& worker_of,
+                                   int num_workers);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_GRAPH_PARTITION_STRATEGIES_H_

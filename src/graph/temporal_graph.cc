@@ -1,0 +1,33 @@
+#include "graph/temporal_graph.h"
+
+namespace graphite {
+
+size_t TemporalGraph::MemoryFootprintBytes() const {
+  size_t bytes = 0;
+  bytes += vertex_ids_.size() * sizeof(VertexId);
+  bytes += vertex_intervals_.size() * sizeof(Interval);
+  bytes += vid_to_idx_.size() * (sizeof(VertexId) + sizeof(VertexIdx) + 16);
+  bytes += out_offsets_.size() * sizeof(uint32_t);
+  bytes += edges_.size() * sizeof(StoredEdge);
+  bytes += in_offsets_.size() * sizeof(uint32_t);
+  bytes += in_positions_.size() * sizeof(EdgePos);
+  auto props_bytes =
+      [](const std::vector<std::vector<std::pair<LabelId,
+                                                 IntervalMap<PropValue>>>>&
+             props) {
+        size_t b = 0;
+        for (const auto& per_entity : props) {
+          b += per_entity.size() * sizeof(std::pair<LabelId, void*>);
+          for (const auto& [label, map] : per_entity) {
+            (void)label;
+            b += map.size() * (sizeof(Interval) + sizeof(PropValue));
+          }
+        }
+        return b;
+      };
+  bytes += props_bytes(vertex_props_);
+  bytes += props_bytes(edge_props_);
+  return bytes;
+}
+
+}  // namespace graphite

@@ -1,0 +1,164 @@
+// The temporal property graph data model (paper §III, Definition 1): a
+// directed multi-graph G = (V, E, L, A_V, A_E) where vertices and edges
+// carry lifespans and properties carry per-interval values.
+//
+// Storage is immutable CSR built once by TemporalGraphBuilder: out- and
+// in-edge adjacency, vertex/edge lifespans, and per-entity temporal
+// properties as IntervalMap<PropValue>. Vertices are referenced internally
+// by dense indices (VertexIdx) for O(1) adjacency; external ids (VertexId)
+// are opaque, per Def. 1.
+#ifndef GRAPHITE_GRAPH_TEMPORAL_GRAPH_H_
+#define GRAPHITE_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "temporal/interval.h"
+#include "temporal/interval_map.h"
+#include "util/status.h"
+
+namespace graphite {
+
+/// External (user-facing, opaque) vertex identifier.
+using VertexId = int64_t;
+/// External edge identifier.
+using EdgeId = int64_t;
+/// Internal dense vertex index in [0, num_vertices).
+using VertexIdx = uint32_t;
+/// Internal dense edge position in [0, num_edges).
+using EdgePos = uint32_t;
+/// Property values (the paper's TD algorithms use numeric edge properties
+/// such as travel-time and travel-cost).
+using PropValue = int64_t;
+/// Interned property-label identifier.
+using LabelId = uint16_t;
+
+inline constexpr VertexIdx kInvalidVertex = static_cast<VertexIdx>(-1);
+
+/// One stored directed edge (CSR payload).
+struct StoredEdge {
+  EdgeId eid = 0;
+  VertexIdx src = kInvalidVertex;
+  VertexIdx dst = kInvalidVertex;
+  Interval interval;  ///< Edge lifespan.
+};
+
+/// Immutable temporal property graph. Create via TemporalGraphBuilder.
+class TemporalGraph {
+ public:
+  size_t num_vertices() const { return vertex_intervals_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// External id of a vertex.
+  VertexId vertex_id(VertexIdx v) const { return vertex_ids_[v]; }
+  /// Lifespan of a vertex.
+  const Interval& vertex_interval(VertexIdx v) const {
+    return vertex_intervals_[v];
+  }
+  /// Dense index for an external id, if the vertex exists.
+  std::optional<VertexIdx> IndexOf(VertexId vid) const {
+    auto it = vid_to_idx_.find(vid);
+    if (it == vid_to_idx_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Out-edges of `v` (contiguous CSR slice).
+  std::span<const StoredEdge> OutEdges(VertexIdx v) const {
+    return {edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  /// Positions (into edge storage) of in-edges of `v`.
+  std::span<const EdgePos> InEdgePositions(VertexIdx v) const {
+    return {in_positions_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  /// Edge record by storage position.
+  const StoredEdge& edge(EdgePos pos) const { return edges_[pos]; }
+  /// Storage position of the k-th out-edge of `v`.
+  EdgePos OutEdgePos(VertexIdx v, size_t k) const {
+    return static_cast<EdgePos>(out_offsets_[v] + k);
+  }
+
+  /// Interned id for a label name, if used anywhere in the graph.
+  std::optional<LabelId> LabelIdOf(const std::string& name) const {
+    auto it = label_to_id_.find(name);
+    if (it == label_to_id_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Name of an interned label.
+  const std::string& LabelName(LabelId id) const { return labels_[id]; }
+  size_t num_labels() const { return labels_.size(); }
+
+  /// Temporal values of edge property `label` on the edge at `pos`;
+  /// nullptr when the edge has no such property.
+  const IntervalMap<PropValue>* EdgeProperty(EdgePos pos, LabelId label) const {
+    return FindProp(edge_props_[pos], label);
+  }
+  /// Temporal values of vertex property `label` on `v`; nullptr if absent.
+  const IntervalMap<PropValue>* VertexProperty(VertexIdx v,
+                                               LabelId label) const {
+    return FindProp(vertex_props_[v], label);
+  }
+  /// All properties of the edge at `pos`.
+  const std::vector<std::pair<LabelId, IntervalMap<PropValue>>>&
+  EdgeProperties(EdgePos pos) const {
+    return edge_props_[pos];
+  }
+  /// All properties of vertex `v`.
+  const std::vector<std::pair<LabelId, IntervalMap<PropValue>>>&
+  VertexProperties(VertexIdx v) const {
+    return vertex_props_[v];
+  }
+
+  /// The graph horizon T: snapshots are the time-points [0, T). Open-ended
+  /// entity lifespans are interpreted as reaching the horizon.
+  TimePoint horizon() const { return horizon_; }
+
+  /// Clips an entity lifespan to the finite horizon window [0, T).
+  Interval ClipToHorizon(const Interval& i) const {
+    return i.Intersect(Interval(0, horizon_));
+  }
+
+  /// Rough in-memory footprint in bytes of this interval-graph
+  /// representation (used by the Fig. 6a footprint benchmark).
+  size_t MemoryFootprintBytes() const;
+
+ private:
+  friend class TemporalGraphBuilder;
+
+  static const IntervalMap<PropValue>* FindProp(
+      const std::vector<std::pair<LabelId, IntervalMap<PropValue>>>& props,
+      LabelId label) {
+    for (const auto& [l, map] : props) {
+      if (l == label) return &map;
+    }
+    return nullptr;
+  }
+
+  std::vector<VertexId> vertex_ids_;
+  std::vector<Interval> vertex_intervals_;
+  std::unordered_map<VertexId, VertexIdx> vid_to_idx_;
+
+  std::vector<uint32_t> out_offsets_;  // size num_vertices + 1
+  std::vector<StoredEdge> edges_;      // grouped by src
+  std::vector<uint32_t> in_offsets_;   // size num_vertices + 1
+  std::vector<EdgePos> in_positions_;  // positions into edges_
+
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, LabelId> label_to_id_;
+  std::vector<std::vector<std::pair<LabelId, IntervalMap<PropValue>>>>
+      vertex_props_;  // by VertexIdx
+  std::vector<std::vector<std::pair<LabelId, IntervalMap<PropValue>>>>
+      edge_props_;  // by EdgePos
+
+  TimePoint horizon_ = 0;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_GRAPH_TEMPORAL_GRAPH_H_

@@ -1,0 +1,696 @@
+// The Interval-centric Computing Model engine (paper §IV, §VI) — the
+// GRAPHITE runtime. Executes user interval-compute and interval-scatter
+// logic over a TemporalGraph in BSP supersteps:
+//
+//   superstep 0   Init() seeds one state covering each vertex lifespan and
+//                 Compute runs once per vertex over that span with no
+//                 messages (the paper's "compute is called on all vertices
+//                 in superstep 1, with no messages and for the entire
+//                 vertex lifespan").
+//   superstep k   Only vertices that received messages are active. The
+//                 time-warp operator aligns and groups the messages with
+//                 the partitioned vertex states; Compute runs once per warp
+//                 tuple. State updates repartition the state dynamically.
+//                 Updated state entries are warped against the out-edges
+//                 (refined at edge-property boundaries) and Scatter runs
+//                 once per resulting slice, emitting interval messages.
+//   halt          When a superstep sends no messages (all vertices
+//                 implicitly vote to halt; messages reactivate them).
+//
+// Engineering optimizations from §VI, all semantics-preserving:
+//   * inline warp combiner  — with Program::Combine, warp folds each
+//     message group to one payload during the sweep, so Compute receives a
+//     single message and the separate group-scan pass disappears;
+//   * warp suppression      — when more than `suppression_threshold` of a
+//     vertex's incoming messages are unit-length, the merge-based warp is
+//     bypassed for a time-point-centric grouping (more Compute calls, no
+//     warp overhead; result identical);
+//   * interval messages     — wire format uses the varint interval codec
+//     (unit-length / open-ended intervals carry one endpoint + flag).
+//
+// Program contract:
+//   struct MyAlgorithm {
+//     using State = ...;    // operator== required
+//     using Message = ...;  // operator== and MessageTraits<> required
+//     State Init(VertexIdx v) const;
+//     void Compute(IcmVertexContext<MyAlgorithm>& ctx,
+//                  std::span<const Message> msgs);
+//     void Scatter(IcmScatterContext<MyAlgorithm>& ctx, const State& s);
+//     // Optional commutative+associative combiner:
+//     // static Message Combine(const Message&, const Message&);
+//   };
+#ifndef GRAPHITE_ICM_ICM_ENGINE_H_
+#define GRAPHITE_ICM_ICM_ENGINE_H_
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/message_traits.h"
+#include "engine/metrics.h"
+#include "engine/parallel.h"
+#include "graph/partitioner.h"
+#include "graph/temporal_graph.h"
+#include "icm/message.h"
+#include "icm/warp.h"
+#include "util/serde.h"
+#include "util/timer.h"
+
+namespace graphite {
+
+struct IcmOptions {
+  int num_workers = 4;
+  bool use_threads = false;
+  /// Run Compute on every vertex every superstep (fixed-iteration
+  /// algorithms like PageRank); terminate at max_supersteps.
+  bool always_active = false;
+  int max_supersteps = std::numeric_limits<int>::max();
+  /// §VI inline warp combiner (no-op unless the Program defines Combine).
+  bool enable_combiner = true;
+  /// §VI warp suppression for unit-lifespan-dominated inboxes.
+  bool enable_suppression = true;
+  /// Fraction of unit-length messages above which warp is suppressed
+  /// (paper default 70%).
+  double suppression_threshold = 0.7;
+  /// Optional explicit vertex->worker assignment (indexed by VertexIdx,
+  /// values in [0, num_workers)); nullptr = the default hash partitioner.
+  /// See graph/partition_strategies.h.
+  const std::vector<int>* custom_partition = nullptr;
+};
+
+template <typename P>
+concept IcmHasCombiner = requires(const typename P::Message& a,
+                                  const typename P::Message& b) {
+  { P::Combine(a, b) } -> std::convertible_to<typename P::Message>;
+};
+
+/// Programs that never read edge properties (the TI algorithms; paper
+/// §VII-A1: "the former do not use any properties") declare
+/// `static constexpr bool kUsesEdgeProperties = false;` — the pre-scatter
+/// warp then skips splitting slices at property boundaries, which both
+/// avoids the refinement cost and sends fewer, longer interval messages.
+template <typename P>
+concept IcmDeclaresPropertyUse = requires {
+  { P::kUsesEdgeProperties } -> std::convertible_to<bool>;
+};
+
+template <typename P>
+constexpr bool IcmUsesEdgeProperties() {
+  if constexpr (IcmDeclaresPropertyUse<P>) {
+    return P::kUsesEdgeProperties;
+  } else {
+    return true;  // Conservative default: refine at property boundaries.
+  }
+}
+
+template <typename Program>
+class IcmEngine;
+
+/// Context passed to Program::Compute for one warp tuple: the active
+/// sub-interval, the prior state over it, and vertex/graph accessors.
+/// SetState() updates (and dynamically repartitions) the vertex state; the
+/// written interval must lie within the tuple interval.
+template <typename Program>
+class IcmVertexContext {
+ public:
+  using State = typename Program::State;
+
+  VertexIdx vertex() const { return vertex_; }
+  VertexId vertex_id() const { return graph_->vertex_id(vertex_); }
+  /// The active sub-interval this Compute call covers (tau_i).
+  const Interval& interval() const { return interval_; }
+  /// The vertex state inherited over interval() from the prior superstep.
+  const State& state() const { return *state_; }
+  /// Vertex lifespan (static interval from the temporal graph).
+  const Interval& vertex_interval() const {
+    return graph_->vertex_interval(vertex_);
+  }
+  int superstep() const { return superstep_; }
+  const TemporalGraph& graph() const { return *graph_; }
+
+  /// Updates the state over `iv` (must be contained in interval()) to
+  /// `value`. Triggers dynamic repartitioning and marks the interval for
+  /// the scatter phase.
+  void SetState(const Interval& iv, const State& value) {
+    GRAPHITE_CHECK(iv.IsValid() && iv.ContainedIn(interval_));
+    states_->Set(iv, value);
+    updated_->Set(iv, value);
+  }
+
+ private:
+  friend class IcmEngine<Program>;
+  VertexIdx vertex_ = 0;
+  Interval interval_;
+  const State* state_ = nullptr;
+  int superstep_ = 0;
+  const TemporalGraph* graph_ = nullptr;
+  IntervalMap<State>* states_ = nullptr;
+  IntervalMap<State>* updated_ = nullptr;
+};
+
+/// Context passed to Program::Scatter for one out-edge slice: the edge, the
+/// sub-interval tau'_k (updated-state x edge-lifespan x property-boundary
+/// refined), and Send().
+template <typename Program>
+class IcmScatterContext {
+ public:
+  using Message = typename Program::Message;
+
+  const StoredEdge& edge() const { return *edge_; }
+  EdgePos edge_pos() const { return edge_pos_; }
+  /// The scatter slice tau'_k. Edge properties are constant over it.
+  const Interval& interval() const { return interval_; }
+  int superstep() const { return superstep_; }
+  const TemporalGraph& graph() const { return *graph_; }
+
+  /// Edge property value over this slice (properties are constant within a
+  /// slice by construction); nullopt if absent here.
+  std::optional<PropValue> EdgeProp(LabelId label) const {
+    const IntervalMap<PropValue>* map = graph_->EdgeProperty(edge_pos_, label);
+    if (map == nullptr) return std::nullopt;
+    return map->Get(interval_.start);
+  }
+
+  /// Sends `msg` valid over `iv` to the edge's sink vertex. An empty
+  /// interval means "valid nowhere" and is dropped without counting.
+  void Send(const Interval& iv, const Message& msg) {
+    if (iv.IsEmpty()) return;
+    Writer& w = (*wire_row_)[(*worker_of_)[edge_->dst]];
+    w.WriteU64(edge_->dst);
+    WriteInterval(w, iv);
+    MessageTraits<Message>::Write(w, msg);
+    ++*messages_sent_;
+  }
+
+  /// Sends `msg` inheriting the scatter slice as its validity (tau_m =
+  /// tau'_k), the paper's default when scatter omits the interval.
+  void SendInherit(const Message& msg) { Send(interval_, msg); }
+
+ private:
+  friend class IcmEngine<Program>;
+  const StoredEdge* edge_ = nullptr;
+  EdgePos edge_pos_ = 0;
+  Interval interval_;
+  int superstep_ = 0;
+  const TemporalGraph* graph_ = nullptr;
+  std::vector<Writer>* wire_row_ = nullptr;  ///< src worker's per-dst buffers
+  const std::vector<int>* worker_of_ = nullptr;
+  int64_t* messages_sent_ = nullptr;
+};
+
+/// Outcome of an ICM run: metrics plus the final partitioned states.
+template <typename Program>
+struct IcmResult {
+  RunMetrics metrics;
+  std::vector<IntervalMap<typename Program::State>> states;
+  /// Compute calls that had messages or updated state ("interval vertex
+  /// visits" in the paper's intro example).
+  int64_t active_compute_calls = 0;
+  /// (vertex, superstep) pairs where warp was suppressed.
+  int64_t suppressed_vertices = 0;
+};
+
+template <typename Program>
+class IcmEngine {
+ public:
+  using State = typename Program::State;
+  using Message = typename Program::Message;
+  using StateEntry = typename IntervalMap<State>::Entry;
+  using Item = TemporalItem<Message>;
+
+  static IcmResult<Program> Run(const TemporalGraph& g, Program& program,
+                                const IcmOptions& options = {}) {
+    IcmEngine engine(g, program, options);
+    return engine.Execute();
+  }
+
+ private:
+  IcmEngine(const TemporalGraph& g, Program& program, const IcmOptions& options)
+      : g_(g), program_(program), options_(options) {}
+
+  IcmResult<Program> Execute() {
+    const size_t n = g_.num_vertices();
+    const int num_workers = options_.num_workers;
+    GRAPHITE_CHECK(num_workers >= 1);
+    HashPartitioner partitioner(num_workers);
+
+    std::vector<int> worker_of(n, 0);
+    std::vector<std::vector<VertexIdx>> vertices_by_worker(num_workers);
+    if (options_.custom_partition != nullptr) {
+      GRAPHITE_CHECK(options_.custom_partition->size() == n);
+    }
+    for (VertexIdx v = 0; v < n; ++v) {
+      const int w = options_.custom_partition != nullptr
+                        ? (*options_.custom_partition)[v]
+                        : partitioner.WorkerOf(g_.vertex_id(v));
+      GRAPHITE_CHECK(w >= 0 && w < num_workers);
+      worker_of[v] = w;
+      vertices_by_worker[w].push_back(v);
+    }
+
+    IcmResult<Program> result;
+    auto& states = result.states;
+    states.resize(n);
+    for (VertexIdx v = 0; v < n; ++v) {
+      states[v] = IntervalMap<State>(g_.vertex_interval(v), program_.Init(v));
+    }
+
+    std::vector<std::vector<Item>> inbox(n);
+    std::vector<uint8_t> has_mail(n, 0);
+    std::vector<std::vector<Writer>> wire(num_workers);
+    for (auto& row : wire) row.resize(num_workers);
+
+    const int64_t run_start = NowNanos();
+    for (int superstep = 0; superstep < options_.max_supersteps; ++superstep) {
+      SuperstepMetrics ss;
+      ss.worker_compute_ns.assign(num_workers, 0);
+      ss.worker_in_bytes.assign(num_workers, 0);
+      std::vector<WorkerCounters> counters(num_workers);
+
+      RunWorkers(num_workers, options_.use_threads, [&](int w) {
+        const int64_t t0 = NowNanos();
+        WorkerScratch scratch;
+        for (VertexIdx v : vertices_by_worker[w]) {
+          const bool active =
+              superstep == 0 || options_.always_active || has_mail[v];
+          if (!active) continue;
+          ProcessVertex(v, superstep, worker_of, inbox[v], &states[v],
+                        &wire[w], &counters[w], &scratch);
+          // (wire[w] is this worker's per-destination buffer row.)
+        }
+        ss.worker_compute_ns[w] = NowNanos() - t0;
+      });
+      ss.worker_compute_calls.resize(num_workers);
+      for (int w = 0; w < num_workers; ++w) {
+        ss.worker_compute_calls[w] = counters[w].compute_calls;
+      }
+      for (const WorkerCounters& c : counters) {
+        ss.compute_calls += c.compute_calls;
+        ss.scatter_calls += c.scatter_calls;
+        ss.messages += c.messages;
+        result.active_compute_calls += c.active_compute_calls;
+        result.suppressed_vertices += c.suppressed_vertices;
+      }
+
+      // Barrier: clear consumed inboxes.
+      const int64_t barrier_t = NowNanos();
+      for (VertexIdx v = 0; v < n; ++v) {
+        if (has_mail[v]) inbox[v].clear();
+        has_mail[v] = 0;
+      }
+      ss.barrier_ns = NowNanos() - barrier_t;
+
+      // Messaging phase: deliver wire buffers.
+      const int64_t msg_t = NowNanos();
+      bool any_message = false;
+      for (int dst = 0; dst < num_workers; ++dst) {
+        for (int src = 0; src < num_workers; ++src) {
+          Writer& buf = wire[src][dst];
+          if (buf.size() == 0) continue;
+          ss.message_bytes += static_cast<int64_t>(buf.size());
+          if (src != dst) {
+            ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
+          }
+          const std::string bytes = buf.Release();
+          buf = Writer();
+          Reader reader(bytes);
+          while (!reader.AtEnd()) {
+            const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
+            Interval iv = ReadInterval(reader);
+            Message msg = MessageTraits<Message>::Read(reader);
+            inbox[unit].push_back({iv, std::move(msg)});
+            has_mail[unit] = 1;
+            any_message = true;
+          }
+        }
+      }
+      ss.messaging_ns = NowNanos() - msg_t;
+
+      result.metrics.Accumulate(ss);
+      if (!any_message && !options_.always_active) break;
+    }
+    result.metrics.makespan_ns = NowNanos() - run_start;
+    return result;
+  }
+
+  struct WorkerCounters {
+    int64_t compute_calls = 0;
+    int64_t scatter_calls = 0;
+    int64_t messages = 0;
+    int64_t active_compute_calls = 0;
+    int64_t suppressed_vertices = 0;
+  };
+
+  // Reused per-worker buffers to avoid per-vertex allocation churn.
+  struct WorkerScratch {
+    std::vector<StateEntry> outer;        // state snapshot for warp
+    std::vector<Message> group;           // materialized message group
+    IntervalMap<State> updated;           // intervals written by SetState
+    std::vector<TimePoint> boundaries;    // property-refinement points
+    std::vector<uint32_t> order;          // suppression grouping order
+  };
+
+  void ProcessVertex(VertexIdx v, int superstep,
+                     const std::vector<int>& worker_of,
+                     const std::vector<Item>& msgs, IntervalMap<State>* states,
+                     std::vector<Writer>* wire_row, WorkerCounters* counters,
+                     WorkerScratch* scratch) {
+    scratch->updated.clear();
+
+    IcmVertexContext<Program> ctx;
+    ctx.vertex_ = v;
+    ctx.superstep_ = superstep;
+    ctx.graph_ = &g_;
+    ctx.states_ = states;
+    ctx.updated_ = &scratch->updated;
+
+    if (msgs.empty()) {
+      // Superstep 0 / always-active with no mail: one call per state entry.
+      scratch->outer.assign(states->entries().begin(),
+                            states->entries().end());
+      for (const StateEntry& entry : scratch->outer) {
+        ctx.interval_ = entry.interval;
+        ctx.state_ = &entry.value;
+        program_.Compute(ctx, std::span<const Message>());
+        ++counters->compute_calls;
+        if (!scratch->updated.empty()) ++counters->active_compute_calls;
+      }
+    } else {
+      const bool suppress =
+          options_.enable_suppression && ShouldSuppress(msgs);
+      if (suppress) {
+        ++counters->suppressed_vertices;
+        ComputeSuppressed(&ctx, msgs, states, counters, scratch);
+      } else {
+        ComputeWarped(&ctx, msgs, states, counters, scratch);
+      }
+    }
+
+    if (scratch->updated.empty()) return;
+    // Keep the partition minimal: splitting states is semantically free
+    // (§IV-A1), so merging equal adjacent values back is too, and it keeps
+    // later warps linear in the number of *distinct* value runs.
+    states->Coalesce();
+    scratch->updated.Coalesce();
+    ScatterPhase(v, superstep, worker_of, scratch->updated, wire_row, counters,
+                 scratch);
+  }
+
+  bool ShouldSuppress(const std::vector<Item>& msgs) const {
+    size_t unit = 0;
+    for (const Item& m : msgs) {
+      // Unbounded intervals cannot be expanded per time-point; their
+      // presence forces the merge-based warp.
+      if (m.interval.end == kTimeMax || m.interval.start == kTimeMin) {
+        return false;
+      }
+      if (m.interval.IsUnit()) ++unit;
+    }
+    return static_cast<double>(unit) >
+           options_.suppression_threshold * static_cast<double>(msgs.size());
+  }
+
+  // Normal path: time-warp the partitioned states with the inbox, then one
+  // Compute per output tuple. With a combiner, each group is folded to a
+  // single payload as the tuples are consumed.
+  void ComputeWarped(IcmVertexContext<Program>* ctx,
+                     const std::vector<Item>& msgs,
+                     IntervalMap<State>* states, WorkerCounters* counters,
+                     WorkerScratch* scratch) {
+    // Snapshot the partition: SetState during the loop repartitions the
+    // live map, but warp tuples must see the prior superstep's states.
+    scratch->outer.assign(states->entries().begin(), states->entries().end());
+    const bool gap_fill = options_.always_active;
+
+    // Fast path for the dominant single-message inbox: the warp of one
+    // message is just its clip against each state slice (states are kept
+    // coalesced, so adjacent slices differ and maximality holds).
+    if (msgs.size() == 1 && !gap_fill) {
+      const Item& only = msgs[0];
+      for (const StateEntry& entry : scratch->outer) {
+        const Interval slice = entry.interval.Intersect(only.interval);
+        if (slice.IsEmpty()) continue;
+        ctx->interval_ = slice;
+        ctx->state_ = &entry.value;
+        program_.Compute(*ctx, std::span<const Message>(&only.value, 1));
+        ++counters->compute_calls;
+        ++counters->active_compute_calls;
+      }
+      return;
+    }
+
+    auto run_compute = [&](const Interval& iv, const State& state,
+                           std::span<const Message> group) {
+      ctx->interval_ = iv;
+      ctx->state_ = &state;
+      const size_t updates_before = scratch->updated.size();
+      program_.Compute(*ctx, group);
+      ++counters->compute_calls;
+      if (!group.empty() || scratch->updated.size() != updates_before) {
+        ++counters->active_compute_calls;
+      }
+    };
+    TimePoint cursor = scratch->outer.empty()
+                           ? 0
+                           : scratch->outer.front().interval.start;
+
+    // Inline warp combiner (§VI): the sweep itself folds every message
+    // group to one payload, so neither per-tuple index vectors nor a
+    // separate group-scan pass exist.
+    if constexpr (IcmHasCombiner<Program>) {
+      if (options_.enable_combiner) {
+        const auto tuples = TimeWarpCombine<State, Message>(
+            std::span<const StateEntry>(scratch->outer),
+            std::span<const Item>(msgs),
+            [](const Message& a, const Message& b) {
+              return Program::Combine(a, b);
+            });
+        for (const auto& t : tuples) {
+          if (gap_fill && t.interval.start > cursor) {
+            EmitGapCalls(Interval(cursor, t.interval.start), scratch,
+                         run_compute);
+          }
+          run_compute(t.interval, scratch->outer[t.outer_index].value,
+                      std::span<const Message>(&t.combined, 1));
+          cursor = t.interval.end;
+        }
+        if (gap_fill && !scratch->outer.empty() &&
+            cursor < scratch->outer.back().interval.end) {
+          EmitGapCalls(Interval(cursor, scratch->outer.back().interval.end),
+                       scratch, run_compute);
+        }
+        return;
+      }
+    }
+
+    // Walk the tuples in temporal order; in always-active mode the
+    // uncovered gaps between them get empty-group Compute calls.
+    const std::vector<WarpTuple> tuples = TimeWarp<State, Message>(
+        std::span<const StateEntry>(scratch->outer),
+        std::span<const Item>(msgs));
+    for (const WarpTuple& t : tuples) {
+      if (gap_fill && t.interval.start > cursor) {
+        EmitGapCalls(Interval(cursor, t.interval.start), scratch, run_compute);
+      }
+      scratch->group.clear();
+      for (uint32_t idx : t.inner_indices) {
+        scratch->group.push_back(msgs[idx].value);
+      }
+      run_compute(t.interval, scratch->outer[t.outer_index].value,
+                  std::span<const Message>(scratch->group));
+      cursor = t.interval.end;
+    }
+    if (gap_fill && !scratch->outer.empty() &&
+        cursor < scratch->outer.back().interval.end) {
+      EmitGapCalls(Interval(cursor, scratch->outer.back().interval.end),
+                   scratch, run_compute);
+    }
+  }
+
+  // Calls `run_compute` with an empty group for every prior-state slice in
+  // `gap` (always-active mode only).
+  template <typename RunFn>
+  void EmitGapCalls(const Interval& gap, WorkerScratch* scratch,
+                    RunFn&& run_compute) {
+    for (const StateEntry& entry : scratch->outer) {
+      const Interval slice = entry.interval.Intersect(gap);
+      if (slice.IsValid()) {
+        run_compute(slice, entry.value, std::span<const Message>());
+      }
+    }
+  }
+
+  // Suppressed path (§VI): the merge-based warp is bypassed and execution
+  // "degenerates to a time-point centric execution model" — Compute runs
+  // once per covered time-point with every message live there (plus the
+  // always-active gap fill at unit granularity). This is warp output at
+  // unit granularity, so any user logic stays exact; there are simply
+  // more Compute calls, which the paper accepts in exchange for skipping
+  // the warp's sort-merge on unit-dominated inboxes.
+  void ComputeSuppressed(IcmVertexContext<Program>* ctx,
+                         const std::vector<Item>& msgs,
+                         IntervalMap<State>* states, WorkerCounters* counters,
+                         WorkerScratch* scratch) {
+    // Sort message indices by start; a sliding window then yields the live
+    // set per time-point.
+    scratch->order.resize(msgs.size());
+    for (uint32_t i = 0; i < msgs.size(); ++i) scratch->order[i] = i;
+    std::stable_sort(scratch->order.begin(), scratch->order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return msgs[a].interval.start < msgs[b].interval.start;
+                     });
+    scratch->outer.assign(states->entries().begin(), states->entries().end());
+
+    // Covered time-points, bounded: ShouldSuppress rejects unbounded
+    // message intervals.
+    scratch->boundaries.clear();
+    for (const Item& m : msgs) {
+      const Interval clipped = m.interval.Intersect(states->Span());
+      for (TimePoint t = clipped.start; t < clipped.end; ++t) {
+        scratch->boundaries.push_back(t);
+      }
+    }
+    std::sort(scratch->boundaries.begin(), scratch->boundaries.end());
+    scratch->boundaries.erase(
+        std::unique(scratch->boundaries.begin(), scratch->boundaries.end()),
+        scratch->boundaries.end());
+
+    size_t window_lo = 0;
+    for (TimePoint t : scratch->boundaries) {
+      // Prior state at t (from the pre-superstep snapshot).
+      const StateEntry* state = nullptr;
+      for (const StateEntry& entry : scratch->outer) {
+        if (entry.interval.Contains(t)) {
+          state = &entry;
+          break;
+        }
+      }
+      if (state == nullptr) continue;
+      while (window_lo < scratch->order.size() &&
+             msgs[scratch->order[window_lo]].interval.end <= t) {
+        ++window_lo;
+      }
+      scratch->group.clear();
+      for (size_t k = window_lo; k < scratch->order.size(); ++k) {
+        const Item& m = msgs[scratch->order[k]];
+        if (m.interval.start > t) break;
+        if (m.interval.Contains(t)) scratch->group.push_back(m.value);
+      }
+      if (scratch->group.empty()) continue;
+      if constexpr (IcmHasCombiner<Program>) {
+        if (options_.enable_combiner && scratch->group.size() > 1) {
+          Message folded = scratch->group[0];
+          for (size_t k = 1; k < scratch->group.size(); ++k) {
+            folded = Program::Combine(folded, scratch->group[k]);
+          }
+          scratch->group.clear();
+          scratch->group.push_back(std::move(folded));
+        }
+      }
+      ctx->interval_ = Interval(t, t + 1);
+      ctx->state_ = &state->value;
+      program_.Compute(*ctx, std::span<const Message>(scratch->group));
+      ++counters->compute_calls;
+      ++counters->active_compute_calls;
+    }
+
+    // Always-active gap fill: prior-state slices not covered by any
+    // message still get their empty-group call (unit-exactness is not
+    // needed there — state is constant across each uncovered slice).
+    if (options_.always_active) {
+      TimePoint cursor = scratch->outer.empty()
+                             ? 0
+                             : scratch->outer.front().interval.start;
+      auto emit_gap = [&](const Interval& gap) {
+        for (const StateEntry& entry : scratch->outer) {
+          const Interval slice = entry.interval.Intersect(gap);
+          if (!slice.IsValid()) continue;
+          ctx->interval_ = slice;
+          ctx->state_ = &entry.value;
+          program_.Compute(*ctx, std::span<const Message>());
+          ++counters->compute_calls;
+        }
+      };
+      for (TimePoint t : scratch->boundaries) {
+        if (t > cursor) emit_gap(Interval(cursor, t));
+        cursor = t + 1;
+      }
+      if (!scratch->outer.empty() &&
+          cursor < scratch->outer.back().interval.end) {
+        emit_gap(Interval(cursor, scratch->outer.back().interval.end));
+      }
+    }
+  }
+
+  // Pre-scatter warp: each updated state entry is joined with each
+  // out-edge lifespan, refined at the edge's property boundaries, and
+  // Scatter runs once per slice (paper: "scatter is called once for each
+  // overlapping interval of its out-edges having a distinct property").
+  void ScatterPhase(VertexIdx v, int superstep,
+                    const std::vector<int>& worker_of,
+                    const IntervalMap<State>& updated,
+                    std::vector<Writer>* wire_row, WorkerCounters* counters,
+                    WorkerScratch* scratch) {
+    auto edges = g_.OutEdges(v);
+    for (size_t k = 0; k < edges.size(); ++k) {
+      const StoredEdge& e = edges[k];
+      const EdgePos pos = g_.OutEdgePos(v, k);
+
+      IcmScatterContext<Program> sctx;
+      sctx.edge_ = &e;
+      sctx.edge_pos_ = pos;
+      sctx.superstep_ = superstep;
+      sctx.graph_ = &g_;
+      sctx.wire_row_ = wire_row;
+      sctx.worker_of_ = &worker_of;
+      sctx.messages_sent_ = &counters->messages;
+
+      updated.ForEachIntersecting(
+          e.interval, [&](const Interval& overlap, const State& s) {
+            if constexpr (!IcmUsesEdgeProperties<Program>()) {
+              // Property-blind program: the whole overlap is one slice
+              // ("a time-join suffices before scatter", §IV-B).
+              sctx.interval_ = overlap;
+              program_.Scatter(sctx, s);
+              ++counters->scatter_calls;
+              return;
+            }
+            RefineByProperties(pos, overlap, &scratch->boundaries);
+            for (size_t b = 0; b + 1 < scratch->boundaries.size(); ++b) {
+              sctx.interval_ =
+                  Interval(scratch->boundaries[b], scratch->boundaries[b + 1]);
+              program_.Scatter(sctx, s);
+              ++counters->scatter_calls;
+            }
+          });
+    }
+  }
+
+  // Splits `window` at every property-interval boundary of the edge.
+  void RefineByProperties(EdgePos pos, const Interval& window,
+                          std::vector<TimePoint>* boundaries) const {
+    boundaries->clear();
+    boundaries->push_back(window.start);
+    boundaries->push_back(window.end);
+    for (const auto& [label, map] : g_.EdgeProperties(pos)) {
+      (void)label;
+      map.ForEachIntersecting(window, [&](const Interval& iv, PropValue) {
+        if (iv.start > window.start) boundaries->push_back(iv.start);
+        if (iv.end < window.end) boundaries->push_back(iv.end);
+      });
+    }
+    std::sort(boundaries->begin(), boundaries->end());
+    boundaries->erase(std::unique(boundaries->begin(), boundaries->end()),
+                      boundaries->end());
+  }
+
+  const TemporalGraph& g_;
+  Program& program_;
+  IcmOptions options_;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ICM_ICM_ENGINE_H_

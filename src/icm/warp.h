@@ -1,0 +1,325 @@
+// The time-join and time-warp operators (paper §IV-B).
+//
+// Time-join (Soo/Snodgrass/Jensen, ICDE'94) intersects every (interval,
+// value) pair of an outer and an inner set. Time-warp is a temporal
+// self-join over the time-join: it slices time at the boundary points of
+// the join results and, per slice, groups every inner value live in that
+// slice with the (unique) outer value live there. Warp output drives one
+// Compute invocation per tuple and guarantees (paper, Properties 1-4):
+//   1. Valid inclusion    — every overlapping (state, message) pair appears
+//                           at each shared time-point;
+//   2. No invalid inclusion — nothing appears at a time-point where either
+//                           side does not exist;
+//   3. No duplication     — an outer value covers each of its time-points
+//                           in at most one tuple;
+//   4. Maximal            — adjacent/overlapping tuples with equal state
+//                           value and equal message group are merged, so
+//                           the user logic is invoked minimally often.
+//
+// The implementation is a plane sweep over endpoint events (the merge
+// step of the paper's merge-sort aggregation [26]): O(m log m) time and
+// O(m) space for m inner items, plus output.
+#ifndef GRAPHITE_ICM_WARP_H_
+#define GRAPHITE_ICM_WARP_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "temporal/interval.h"
+#include "temporal/interval_map.h"
+#include "util/status.h"
+
+namespace graphite {
+
+/// One (interval, value) item of the inner set (e.g. a received message).
+template <typename V>
+struct TemporalItem {
+  Interval interval;
+  V value;
+
+  bool operator==(const TemporalItem& other) const {
+    return interval == other.interval && value == other.value;
+  }
+};
+
+/// One output triple of the time-join.
+template <typename S, typename M>
+struct TimeJoinTuple {
+  Interval interval;      ///< tau_s intersect tau_m.
+  uint32_t outer_index;   ///< Index into the outer set.
+  uint32_t inner_index;   ///< Index into the inner set.
+};
+
+/// One output triple of the time-warp: a maximal sub-interval, the outer
+/// value live there (by index), and the group of inner values live there
+/// (by index, in arrival order).
+struct WarpTuple {
+  Interval interval;
+  uint32_t outer_index = 0;
+  std::vector<uint32_t> inner_indices;
+};
+
+/// Time-join: all pairwise intersections, ordered by (outer, inner) index.
+/// The outer set must be temporally partitioned (disjoint intervals).
+template <typename S, typename M>
+std::vector<TimeJoinTuple<S, M>> TimeJoin(
+    std::span<const typename IntervalMap<S>::Entry> outer,
+    std::span<const TemporalItem<M>> inner) {
+  std::vector<TimeJoinTuple<S, M>> out;
+  for (uint32_t i = 0; i < outer.size(); ++i) {
+    for (uint32_t j = 0; j < inner.size(); ++j) {
+      const Interval isect = outer[i].interval.Intersect(inner[j].interval);
+      if (isect.IsValid()) out.push_back({isect, i, j});
+    }
+  }
+  return out;
+}
+
+namespace warp_internal {
+
+/// Endpoint event of the sweep: at `time`, inner item `index` starts
+/// (kStart) or stops (kEnd) being live within the current outer entry.
+struct Event {
+  TimePoint time;
+  uint32_t index;
+  bool is_start;
+};
+
+}  // namespace warp_internal
+
+/// Time-warp over a temporally partitioned outer set and an arbitrary
+/// inner set. `state_equal(i, j)` compares outer values and
+/// `group_equal(a, b)` compares message groups (vectors of inner indices)
+/// by value — both are needed only for the maximality merge.
+///
+/// The generic entry point below (TimeWarp) supplies equality from
+/// operator== on the value types; engines with combiners use this raw form
+/// to fold groups on the fly.
+template <typename S, typename M>
+std::vector<WarpTuple> TimeWarp(
+    std::span<const typename IntervalMap<S>::Entry> outer,
+    std::span<const TemporalItem<M>> inner) {
+  std::vector<WarpTuple> out;
+  if (outer.empty() || inner.empty()) return out;
+
+  // Sort inner items by start once; entries of `outer` are already ordered
+  // and disjoint, so we can advance a window over the inner set.
+  std::vector<uint32_t> by_start(inner.size());
+  for (uint32_t j = 0; j < inner.size(); ++j) by_start[j] = j;
+  std::sort(by_start.begin(), by_start.end(), [&](uint32_t a, uint32_t b) {
+    if (inner[a].interval.start != inner[b].interval.start) {
+      return inner[a].interval.start < inner[b].interval.start;
+    }
+    return a < b;
+  });
+
+  std::vector<warp_internal::Event> events;
+  for (const auto& entry : outer) {
+    GRAPHITE_CHECK(entry.interval.IsValid());
+    // Collect boundary events of inner items clipped to this outer entry.
+    events.clear();
+    for (uint32_t j : by_start) {
+      const Interval clipped = inner[j].interval.Intersect(entry.interval);
+      if (clipped.IsEmpty()) {
+        if (inner[j].interval.start >= entry.interval.end) break;
+        continue;
+      }
+      events.push_back({clipped.start, j, true});
+      events.push_back({clipped.end, j, false});
+    }
+    if (events.empty()) continue;
+    std::sort(events.begin(), events.end(),
+              [](const warp_internal::Event& a,
+                 const warp_internal::Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                // Ends before starts so zero-length gaps do not arise;
+                // ties otherwise keep arrival order.
+                if (a.is_start != b.is_start) return !a.is_start;
+                return a.index < b.index;
+              });
+
+    // Sweep: between consecutive distinct event times, the live group is
+    // constant; emit one tuple per non-empty slice.
+    std::vector<uint32_t> live;  // inner indices, kept in arrival order
+    const uint32_t outer_index =
+        static_cast<uint32_t>(&entry - outer.data());
+    size_t k = 0;
+    TimePoint prev = events.front().time;
+    while (k < events.size()) {
+      const TimePoint now = events[k].time;
+      if (now > prev && !live.empty()) {
+        WarpTuple tuple;
+        tuple.interval = Interval(prev, now);
+        tuple.outer_index = outer_index;
+        tuple.inner_indices = live;
+        out.push_back(std::move(tuple));
+      }
+      while (k < events.size() && events[k].time == now) {
+        const auto& ev = events[k];
+        if (ev.is_start) {
+          auto pos = std::lower_bound(live.begin(), live.end(), ev.index);
+          live.insert(pos, ev.index);
+        } else {
+          auto pos = std::lower_bound(live.begin(), live.end(), ev.index);
+          GRAPHITE_CHECK(pos != live.end() && *pos == ev.index);
+          live.erase(pos);
+        }
+        ++k;
+      }
+      prev = now;
+    }
+    GRAPHITE_CHECK(live.empty());
+  }
+
+  // Maximality merge: adjacent tuples with equal outer value and equal
+  // message group (compared by value, per the formal definition) coalesce.
+  std::vector<WarpTuple> merged;
+  merged.reserve(out.size());
+  // Multiset equality of the groups' message values (only == required of
+  // the payload type). Groups are small, so the quadratic matching is
+  // cheaper than hashing or sorting payloads.
+  std::vector<char> used;
+  auto groups_equal = [&](const WarpTuple& a, const WarpTuple& b) {
+    if (a.inner_indices.size() != b.inner_indices.size()) return false;
+    used.assign(b.inner_indices.size(), 0);
+    for (uint32_t ai : a.inner_indices) {
+      bool matched = false;
+      for (size_t j = 0; j < b.inner_indices.size(); ++j) {
+        if (used[j]) continue;
+        if (ai == b.inner_indices[j] ||
+            inner[ai].value == inner[b.inner_indices[j]].value) {
+          used[j] = 1;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return false;
+    }
+    return true;
+  };
+  for (WarpTuple& t : out) {
+    if (!merged.empty()) {
+      WarpTuple& prev = merged.back();
+      if (prev.interval.Meets(t.interval) &&
+          outer[prev.outer_index].value == outer[t.outer_index].value &&
+          groups_equal(prev, t)) {
+        prev.interval.end = t.interval.end;
+        continue;
+      }
+    }
+    merged.push_back(std::move(t));
+  }
+  return merged;
+}
+
+/// One output triple of the combining time-warp: the message group is
+/// folded to a single payload during the sweep (§VI inline warp combiner),
+/// so no per-tuple index vectors are materialized.
+template <typename M>
+struct CombinedWarpTuple {
+  Interval interval;
+  uint32_t outer_index = 0;
+  M combined;
+  uint32_t group_size = 0;
+};
+
+/// Time-warp with an inline combiner: identical slicing to TimeWarp, but
+/// each tuple carries fold(combine, values of the live group). The
+/// maximality merge coalesces adjacent tuples with equal state value and
+/// equal combined payload — the compute call sequence is exactly what the
+/// non-combining warp plus a post-fold would produce for
+/// commutative/associative combiners.
+template <typename S, typename M, typename Combine>
+std::vector<CombinedWarpTuple<M>> TimeWarpCombine(
+    std::span<const typename IntervalMap<S>::Entry> outer,
+    std::span<const TemporalItem<M>> inner, Combine&& combine) {
+  std::vector<CombinedWarpTuple<M>> out;
+  if (outer.empty() || inner.empty()) return out;
+
+  std::vector<uint32_t> by_start(inner.size());
+  for (uint32_t j = 0; j < inner.size(); ++j) by_start[j] = j;
+  std::sort(by_start.begin(), by_start.end(), [&](uint32_t a, uint32_t b) {
+    if (inner[a].interval.start != inner[b].interval.start) {
+      return inner[a].interval.start < inner[b].interval.start;
+    }
+    return a < b;
+  });
+
+  std::vector<warp_internal::Event> events;
+  std::vector<uint32_t> live;
+  for (const auto& entry : outer) {
+    GRAPHITE_CHECK(entry.interval.IsValid());
+    events.clear();
+    for (uint32_t j : by_start) {
+      const Interval clipped = inner[j].interval.Intersect(entry.interval);
+      if (clipped.IsEmpty()) {
+        if (inner[j].interval.start >= entry.interval.end) break;
+        continue;
+      }
+      events.push_back({clipped.start, j, true});
+      events.push_back({clipped.end, j, false});
+    }
+    if (events.empty()) continue;
+    std::sort(events.begin(), events.end(),
+              [](const warp_internal::Event& a,
+                 const warp_internal::Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.is_start != b.is_start) return !a.is_start;
+                return a.index < b.index;
+              });
+    live.clear();
+    const uint32_t outer_index = static_cast<uint32_t>(&entry - outer.data());
+    size_t k = 0;
+    TimePoint prev = events.front().time;
+    while (k < events.size()) {
+      const TimePoint now = events[k].time;
+      if (now > prev && !live.empty()) {
+        CombinedWarpTuple<M> tuple;
+        tuple.interval = Interval(prev, now);
+        tuple.outer_index = outer_index;
+        tuple.combined = inner[live[0]].value;
+        for (size_t i = 1; i < live.size(); ++i) {
+          tuple.combined = combine(tuple.combined, inner[live[i]].value);
+        }
+        tuple.group_size = static_cast<uint32_t>(live.size());
+        out.push_back(std::move(tuple));
+      }
+      while (k < events.size() && events[k].time == now) {
+        const auto& ev = events[k];
+        auto pos = std::lower_bound(live.begin(), live.end(), ev.index);
+        if (ev.is_start) {
+          live.insert(pos, ev.index);
+        } else {
+          GRAPHITE_CHECK(pos != live.end() && *pos == ev.index);
+          live.erase(pos);
+        }
+        ++k;
+      }
+      prev = now;
+    }
+    GRAPHITE_CHECK(live.empty());
+  }
+
+  // Maximality merge on (state value, combined payload).
+  std::vector<CombinedWarpTuple<M>> merged;
+  merged.reserve(out.size());
+  for (CombinedWarpTuple<M>& t : out) {
+    if (!merged.empty()) {
+      CombinedWarpTuple<M>& prev = merged.back();
+      if (prev.interval.Meets(t.interval) &&
+          outer[prev.outer_index].value == outer[t.outer_index].value &&
+          prev.combined == t.combined) {
+        prev.interval.end = t.interval.end;
+        prev.group_size += t.group_size;
+        continue;
+      }
+    }
+    merged.push_back(std::move(t));
+  }
+  return merged;
+}
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ICM_WARP_H_

@@ -1,0 +1,232 @@
+#include "io/binary_format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "graph/builder.h"
+#include "icm/message.h"
+#include "util/serde.h"
+
+namespace graphite {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'T', 'G', '1'};
+
+// Sorted copies keep the delta coding small and the output canonical.
+template <typename T, typename Key>
+std::vector<T> Sorted(std::vector<T> items, Key&& key) {
+  std::sort(items.begin(), items.end(),
+            [&](const T& a, const T& b) { return key(a) < key(b); });
+  return items;
+}
+
+struct PropRecord {
+  int64_t entity;
+  LabelId label;
+  Interval interval;
+  PropValue value;
+};
+
+void WriteProps(Writer& w, const std::vector<PropRecord>& props) {
+  w.WriteU64(props.size());
+  int64_t prev = 0;
+  for (const PropRecord& p : props) {
+    w.WriteI64(p.entity - prev);
+    prev = p.entity;
+    w.WriteU64(p.label);
+    WriteInterval(w, p.interval);
+    w.WriteI64(p.value);
+  }
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& bytes, size_t offset) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = offset; i < bytes.size(); ++i) {
+    h ^= static_cast<uint8_t>(bytes[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string WriteBinaryGraph(const TemporalGraph& g) {
+  Writer payload;
+  payload.WriteI64(g.horizon());
+
+  payload.WriteU64(g.num_labels());
+  for (LabelId l = 0; l < g.num_labels(); ++l) {
+    payload.WriteBytes(g.LabelName(l));
+  }
+
+  // Vertices, sorted by external id.
+  struct V {
+    VertexId vid;
+    Interval interval;
+  };
+  std::vector<V> vertices;
+  vertices.reserve(g.num_vertices());
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    vertices.push_back({g.vertex_id(v), g.vertex_interval(v)});
+  }
+  vertices = Sorted(std::move(vertices), [](const V& v) { return v.vid; });
+  payload.WriteU64(vertices.size());
+  int64_t prev = 0;
+  for (const V& v : vertices) {
+    payload.WriteI64(v.vid - prev);
+    prev = v.vid;
+    WriteInterval(payload, v.interval);
+  }
+
+  // Edges, sorted by external id.
+  struct E {
+    EdgeId eid;
+    VertexId src;
+    VertexId dst;
+    Interval interval;
+  };
+  std::vector<E> edges;
+  edges.reserve(g.num_edges());
+  for (EdgePos pos = 0; pos < g.num_edges(); ++pos) {
+    const StoredEdge& e = g.edge(pos);
+    edges.push_back(
+        {e.eid, g.vertex_id(e.src), g.vertex_id(e.dst), e.interval});
+  }
+  edges = Sorted(std::move(edges), [](const E& e) { return e.eid; });
+  payload.WriteU64(edges.size());
+  prev = 0;
+  for (const E& e : edges) {
+    payload.WriteI64(e.eid - prev);
+    prev = e.eid;
+    payload.WriteI64(e.src);
+    payload.WriteI64(e.dst);
+    WriteInterval(payload, e.interval);
+  }
+
+  // Properties, grouped by entity id.
+  std::vector<PropRecord> vprops, eprops;
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& [label, map] : g.VertexProperties(v)) {
+      for (const auto& entry : map.entries()) {
+        vprops.push_back({g.vertex_id(v), label, entry.interval, entry.value});
+      }
+    }
+  }
+  for (EdgePos pos = 0; pos < g.num_edges(); ++pos) {
+    for (const auto& [label, map] : g.EdgeProperties(pos)) {
+      for (const auto& entry : map.entries()) {
+        eprops.push_back({g.edge(pos).eid, label, entry.interval, entry.value});
+      }
+    }
+  }
+  auto key = [](const PropRecord& p) {
+    return std::make_tuple(p.entity, p.label, p.interval.start);
+  };
+  std::sort(vprops.begin(), vprops.end(),
+            [&](const PropRecord& a, const PropRecord& b) {
+              return key(a) < key(b);
+            });
+  std::sort(eprops.begin(), eprops.end(),
+            [&](const PropRecord& a, const PropRecord& b) {
+              return key(a) < key(b);
+            });
+  WriteProps(payload, vprops);
+  WriteProps(payload, eprops);
+
+  // Envelope.
+  std::string out(kMagic, sizeof(kMagic));
+  Writer head;
+  head.WriteU64(Fnv1a64(payload.buffer()));
+  out += head.buffer();
+  out += payload.buffer();
+  return out;
+}
+
+Result<TemporalGraph> ReadBinaryGraph(const std::string& bytes) {
+  if (bytes.size() < 5 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a graphite binary graph (bad magic)");
+  }
+  size_t pos = 4;
+  uint64_t checksum = 0;
+  if (!GetVarint64(bytes, &pos, &checksum)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (Fnv1a64(bytes, pos) != checksum) {
+    return Status::InvalidArgument("checksum mismatch (corrupt file)");
+  }
+  // From here reads are guarded by the checksum; Reader CHECKs would only
+  // fire on a hash collision, which we accept.
+  const std::string payload = bytes.substr(pos);
+  Reader r(payload);
+
+  TemporalGraphBuilder builder;
+  BuilderOptions options;
+  options.horizon = r.ReadI64();
+
+  const uint64_t num_labels = r.ReadU64();
+  std::vector<std::string> labels;
+  labels.reserve(num_labels);
+  for (uint64_t i = 0; i < num_labels; ++i) labels.push_back(r.ReadBytes());
+
+  const uint64_t num_vertices = r.ReadU64();
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    prev += r.ReadI64();
+    builder.AddVertex(prev, ReadInterval(r));
+  }
+  const uint64_t num_edges = r.ReadU64();
+  prev = 0;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    prev += r.ReadI64();
+    const VertexId src = r.ReadI64();
+    const VertexId dst = r.ReadI64();
+    builder.AddEdge(prev, src, dst, ReadInterval(r));
+  }
+  for (int kind = 0; kind < 2; ++kind) {
+    const uint64_t count = r.ReadU64();
+    prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      prev += r.ReadI64();
+      const uint64_t label = r.ReadU64();
+      if (label >= labels.size()) {
+        return Status::InvalidArgument("bad label index in property record");
+      }
+      const Interval iv = ReadInterval(r);
+      const PropValue value = r.ReadI64();
+      if (kind == 0) {
+        builder.SetVertexProperty(prev, labels[label], iv, value);
+      } else {
+        builder.SetEdgeProperty(prev, labels[label], iv, value);
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after graph payload");
+  }
+  return builder.Build(options);
+}
+
+Status WriteBinaryGraphFile(const TemporalGraph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const std::string bytes = WriteBinaryGraph(g);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<TemporalGraph> ReadBinaryGraphFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return ReadBinaryGraph(bytes);
+}
+
+}  // namespace graphite

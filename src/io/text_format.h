@@ -1,0 +1,34 @@
+// Line-oriented text format for temporal property graphs, so examples and
+// user pipelines can persist and exchange datasets.
+//
+//   # comment / blank lines ignored
+//   H  <horizon>
+//   V  <vid> <start> <end>
+//   E  <eid> <src-vid> <dst-vid> <start> <end>
+//   VP <vid> <label> <start> <end> <value>
+//   EP <eid> <label> <start> <end> <value>
+//
+// Time-points accept "inf" / "-inf". Labels must not contain whitespace.
+#ifndef GRAPHITE_IO_TEXT_FORMAT_H_
+#define GRAPHITE_IO_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace graphite {
+
+/// Serializes a graph to the text format.
+std::string WriteTextGraph(const TemporalGraph& g);
+
+/// Parses the text format (validates Constraints 1-3 via the builder).
+Result<TemporalGraph> ReadTextGraph(const std::string& text);
+
+/// Convenience file wrappers.
+Status WriteTextGraphFile(const TemporalGraph& g, const std::string& path);
+Result<TemporalGraph> ReadTextGraphFile(const std::string& path);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_IO_TEXT_FORMAT_H_

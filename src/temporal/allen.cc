@@ -1,0 +1,90 @@
+#include "temporal/allen.h"
+
+namespace graphite {
+
+AllenRelation Classify(const Interval& a, const Interval& b) {
+  GRAPHITE_CHECK(a.IsValid() && b.IsValid());
+  if (a.end < b.start) return AllenRelation::kBefore;
+  if (a.end == b.start) return AllenRelation::kMeets;
+  if (b.end < a.start) return AllenRelation::kAfter;
+  if (b.end == a.start) return AllenRelation::kMetBy;
+  // From here the intervals intersect.
+  if (a.start == b.start) {
+    if (a.end == b.end) return AllenRelation::kEquals;
+    return a.end < b.end ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  if (a.end == b.end) {
+    return a.start > b.start ? AllenRelation::kFinishes
+                             : AllenRelation::kFinishedBy;
+  }
+  if (a.start > b.start && a.end < b.end) return AllenRelation::kDuring;
+  if (b.start > a.start && b.end < a.end) return AllenRelation::kContains;
+  return a.start < b.start ? AllenRelation::kOverlaps
+                           : AllenRelation::kOverlappedBy;
+}
+
+const char* AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "unknown";
+}
+
+AllenRelation Inverse(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+  }
+  return AllenRelation::kEquals;
+}
+
+}  // namespace graphite

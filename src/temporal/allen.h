@@ -1,0 +1,42 @@
+// Full Allen interval algebra (Allen, CACM 1983) between half-open
+// intervals. The ICM core only needs the subset exposed on Interval, but
+// the complete classification is provided for temporal analytics and to
+// validate the subset against the algebra in tests.
+#ifndef GRAPHITE_TEMPORAL_ALLEN_H_
+#define GRAPHITE_TEMPORAL_ALLEN_H_
+
+#include "temporal/interval.h"
+
+namespace graphite {
+
+/// The thirteen basic Allen relations, a `Classify(a, b)` result reading
+/// "a <relation> b". Exactly one holds for any pair of valid intervals.
+enum class AllenRelation {
+  kBefore,         ///< a ends strictly before b starts.
+  kMeets,          ///< a.end == b.start.
+  kOverlaps,       ///< a starts first, they intersect, a ends inside b.
+  kStarts,         ///< same start, a ends first.
+  kDuring,         ///< a strictly inside b.
+  kFinishes,       ///< same end, a starts later.
+  kEquals,         ///< identical.
+  kFinishedBy,     ///< inverse of kFinishes.
+  kContains,       ///< inverse of kDuring.
+  kStartedBy,      ///< inverse of kStarts.
+  kOverlappedBy,   ///< inverse of kOverlaps.
+  kMetBy,          ///< inverse of kMeets.
+  kAfter,          ///< inverse of kBefore.
+};
+
+/// Returns the unique Allen relation of `a` with respect to `b`.
+/// Both intervals must be valid (non-empty).
+AllenRelation Classify(const Interval& a, const Interval& b);
+
+/// Human-readable name ("before", "meets", ...).
+const char* AllenRelationName(AllenRelation r);
+
+/// Returns the inverse relation (Classify(b, a) == Inverse(Classify(a, b))).
+AllenRelation Inverse(AllenRelation r);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_TEMPORAL_ALLEN_H_

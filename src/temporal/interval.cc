@@ -1,0 +1,76 @@
+#include "temporal/interval.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace graphite {
+
+namespace {
+
+std::string TimePointToString(TimePoint t) {
+  if (t == kTimeMax) return "inf";
+  if (t == kTimeMin) return "-inf";
+  return std::to_string(t);
+}
+
+// Parses one time-point token, allowing "inf" / "-inf" / "+inf".
+bool ParseTimePoint(const std::string& tok, TimePoint* out) {
+  if (tok == "inf" || tok == "+inf") {
+    *out = kTimeMax;
+    return true;
+  }
+  if (tok == "-inf") {
+    *out = kTimeMin;
+    return true;
+  }
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<TimePoint>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string Interval::ToString() const {
+  return "[" + TimePointToString(start) + ", " + TimePointToString(end) + ")";
+}
+
+Result<Interval> ParseInterval(const std::string& text) {
+  // Strip brackets/parens/commas into whitespace, then split on whitespace.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (c == '[' || c == ']' || c == '(' || c == ')' || c == ',') {
+      cleaned.push_back(' ');
+    } else {
+      cleaned.push_back(c);
+    }
+  }
+  std::string a, b;
+  size_t i = 0;
+  auto next_token = [&](std::string* out) {
+    while (i < cleaned.size() && std::isspace(static_cast<uint8_t>(cleaned[i])))
+      ++i;
+    out->clear();
+    while (i < cleaned.size() &&
+           !std::isspace(static_cast<uint8_t>(cleaned[i]))) {
+      out->push_back(cleaned[i++]);
+    }
+    return !out->empty();
+  };
+  if (!next_token(&a) || !next_token(&b)) {
+    return Status::InvalidArgument("expected two time-points in: " + text);
+  }
+  Interval out;
+  if (!ParseTimePoint(a, &out.start) || !ParseTimePoint(b, &out.end)) {
+    return Status::InvalidArgument("bad time-point in: " + text);
+  }
+  if (!out.IsValid()) {
+    return Status::InvalidArgument("invalid interval (start >= end): " + text);
+  }
+  return out;
+}
+
+}  // namespace graphite

@@ -1,0 +1,96 @@
+// Half-open time-intervals [start, end) over the discrete time domain
+// (paper §III). Interval relations follow Allen's conventions; the subset
+// the paper names is: during, during-or-equals (containment), intersects,
+// equals, and meets, plus the intersection operator.
+#ifndef GRAPHITE_TEMPORAL_INTERVAL_H_
+#define GRAPHITE_TEMPORAL_INTERVAL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "temporal/time.h"
+#include "util/status.h"
+
+namespace graphite {
+
+/// A half-open time-interval [start, end). Valid iff start < end; the empty
+/// interval is represented canonically as [0, 0).
+struct Interval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint s, TimePoint e) : start(s), end(e) {}
+
+  /// The canonical empty interval.
+  static constexpr Interval Empty() { return Interval(0, 0); }
+  /// The whole time axis [kTimeMin, kTimeMax).
+  static constexpr Interval All() { return Interval(kTimeMin, kTimeMax); }
+
+  /// True iff the interval contains at least one time-point.
+  constexpr bool IsValid() const { return start < end; }
+  constexpr bool IsEmpty() const { return !IsValid(); }
+  /// True iff the interval extends to +infinity.
+  constexpr bool IsOpenEnded() const { return end == kTimeMax; }
+  /// True iff the interval covers exactly one time-point.
+  constexpr bool IsUnit() const { return IsValid() && end - start == 1; }
+
+  /// Number of time-points covered; kTimeMax for open-ended intervals.
+  constexpr TimePoint Length() const {
+    if (IsEmpty()) return 0;
+    if (IsOpenEnded() || start == kTimeMin) return kTimeMax;
+    return end - start;
+  }
+
+  /// True iff time-point t lies in [start, end).
+  constexpr bool Contains(TimePoint t) const { return start <= t && t < end; }
+
+  /// During-or-equals: *this is fully contained in `other` (Allen's "during
+  /// or equals", written with a square-subset in the paper).
+  constexpr bool ContainedIn(const Interval& other) const {
+    return IsValid() && other.start <= start && end <= other.end;
+  }
+
+  /// Strict during: contained in `other` and not equal to it.
+  constexpr bool During(const Interval& other) const {
+    return ContainedIn(other) && !(*this == other);
+  }
+
+  /// Intersects: the two intervals share at least one time-point.
+  constexpr bool Intersects(const Interval& other) const {
+    return IsValid() && other.IsValid() && start < other.end &&
+           other.start < end;
+  }
+
+  /// Meets: *this ends exactly where `other` starts.
+  constexpr bool Meets(const Interval& other) const {
+    return IsValid() && other.IsValid() && end == other.start;
+  }
+
+  /// Intersection; empty if the intervals are disjoint.
+  constexpr Interval Intersect(const Interval& other) const {
+    Interval out(std::max(start, other.start), std::min(end, other.end));
+    return out.IsValid() ? out : Empty();
+  }
+
+  constexpr bool operator==(const Interval& other) const {
+    return start == other.start && end == other.end;
+  }
+  constexpr bool operator!=(const Interval& other) const {
+    return !(*this == other);
+  }
+  /// Orders by start, then end; lets intervals key ordered containers.
+  constexpr bool operator<(const Interval& other) const {
+    return start != other.start ? start < other.start : end < other.end;
+  }
+
+  /// "[3, 7)"; infinities render as "-inf"/"inf".
+  std::string ToString() const;
+};
+
+/// Parses "[a, b)" (or "a b"); accepts "inf"/"-inf". Used by the text IO.
+Result<Interval> ParseInterval(const std::string& text);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,24 @@
+// Time domain (paper §III): a linearly ordered discrete domain Omega over
+// non-negative whole numbers. One time unit maps to a user-defined
+// wall-clock quantum. kTimeMax plays the role of +infinity for open-ended
+// intervals such as [t, inf).
+#ifndef GRAPHITE_TEMPORAL_TIME_H_
+#define GRAPHITE_TEMPORAL_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace graphite {
+
+/// A discrete instant in the time domain Omega.
+using TimePoint = int64_t;
+
+/// Sentinel for +infinity (exclusive upper bound of open-ended intervals).
+inline constexpr TimePoint kTimeMax = std::numeric_limits<int64_t>::max();
+
+/// Sentinel for -infinity (used by LD's reverse traversal over time).
+inline constexpr TimePoint kTimeMin = std::numeric_limits<int64_t>::min();
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_TEMPORAL_TIME_H_

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation for synthetic dataset
+// generators and property tests. All experiments are reproducible from a
+// seed; we never consult global randomness.
+#ifndef GRAPHITE_UTIL_RNG_H_
+#define GRAPHITE_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace graphite {
+
+/// splitmix64: tiny, fast, full-period 2^64 generator. Good enough for
+/// workload synthesis; not for cryptography.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    GRAPHITE_CHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    GRAPHITE_CHECK(lo < hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric with success probability p (>=1 trials); clamped to >= 1.
+  int64_t Geometric(double p) {
+    GRAPHITE_CHECK(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 1;
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    int64_t k = static_cast<int64_t>(std::ceil(std::log(u) / std::log1p(-p)));
+    return k < 1 ? 1 : k;
+  }
+
+  /// Zipf-like rank in [0, n): draws rank r with probability ~ 1/(r+1)^alpha
+  /// via inverse-CDF approximation (bounded Pareto). Used for power-law
+  /// degree targets.
+  uint64_t Zipf(uint64_t n, double alpha) {
+    GRAPHITE_CHECK(n > 0);
+    if (n == 1) return 0;
+    double u = NextDouble();
+    double exp = 1.0 - alpha;
+    double nn = static_cast<double>(n);
+    double r;
+    if (std::fabs(exp) < 1e-9) {
+      r = std::pow(nn, u) - 1.0;
+    } else {
+      r = std::pow(u * (std::pow(nn, exp) - 1.0) + 1.0, 1.0 / exp) - 1.0;
+    }
+    if (r < 0) r = 0;
+    uint64_t out = static_cast<uint64_t>(r);
+    return out >= n ? n - 1 : out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_UTIL_RNG_H_

@@ -1,0 +1,90 @@
+// Lightweight byte-buffer writer/reader used to serialize messages that
+// cross worker boundaries in the BSP engine. Cross-worker traffic passes
+// through this codec so message-byte metrics reflect real wire sizes.
+#ifndef GRAPHITE_UTIL_SERDE_H_
+#define GRAPHITE_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/varint.h"
+
+namespace graphite {
+
+/// Append-only encoder over a std::string buffer.
+class Writer {
+ public:
+  /// Appends an unsigned varint.
+  void WriteU64(uint64_t v) { PutVarint64(&buf_, v); }
+  /// Appends a zig-zag signed varint.
+  void WriteI64(int64_t v) { PutVarint64Signed(&buf_, v); }
+  /// Appends a single raw byte.
+  void WriteByte(uint8_t b) { buf_.push_back(static_cast<char>(b)); }
+  /// Appends a length-prefixed byte string.
+  void WriteBytes(const std::string& s) {
+    WriteU64(s.size());
+    buf_.append(s);
+  }
+  /// Appends a length-prefixed vector of signed varints.
+  void WriteI64Vec(const std::vector<int64_t>& v) {
+    WriteU64(v.size());
+    for (int64_t x : v) WriteI64(x);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential decoder over a byte buffer. All reads abort on malformed
+/// input via GRAPHITE_CHECK: buffers are produced by Writer in-process, so
+/// corruption indicates an engine bug, not bad user data.
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_(buf) {}
+
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    GRAPHITE_CHECK(GetVarint64(buf_, &pos_, &v));
+    return v;
+  }
+  int64_t ReadI64() {
+    int64_t v = 0;
+    GRAPHITE_CHECK(GetVarint64Signed(buf_, &pos_, &v));
+    return v;
+  }
+  uint8_t ReadByte() {
+    GRAPHITE_CHECK(pos_ < buf_.size());
+    return static_cast<uint8_t>(buf_[pos_++]);
+  }
+  std::string ReadBytes() {
+    uint64_t n = ReadU64();
+    GRAPHITE_CHECK(pos_ + n <= buf_.size());
+    std::string out = buf_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::vector<int64_t> ReadI64Vec() {
+    uint64_t n = ReadU64();
+    std::vector<int64_t> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) out.push_back(ReadI64());
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_UTIL_SERDE_H_

@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace graphite {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double log_sum = 0;
+  for (double x : xs) {
+    GRAPHITE_CHECK(x > 0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  GRAPHITE_CHECK(xs.size() == ys.size());
+  GRAPHITE_CHECK(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0) {
+    fit.slope = 0;
+    fit.intercept = my;
+    fit.r2 = 0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  // R^2 = 1 - SSE/SST; degenerate (constant y) counts as perfect fit.
+  if (syy == 0) {
+    fit.r2 = 1.0;
+    return fit;
+  }
+  double sse = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    sse += e * e;
+  }
+  fit.r2 = 1.0 - sse / syy;
+  (void)n;
+  return fit;
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  if (rows_.empty()) return "";
+  size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      out += cell;
+      if (c + 1 < cols) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(rows_[0]);
+  size_t rule = 0;
+  for (size_t c = 0; c < cols; ++c) rule += width[c] + (c + 1 < cols ? 2 : 0);
+  out.append(rule, '-');
+  out += '\n';
+  for (size_t i = 1; i < rows_.size(); ++i) emit_row(rows_[i]);
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatCount(int64_t v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace graphite

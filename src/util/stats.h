@@ -1,0 +1,50 @@
+// Small statistics helpers used by the benchmark harness: means, linear
+// regression / R^2 (Fig. 4 correlation plots), and text-table rendering.
+#ifndef GRAPHITE_UTIL_STATS_H_
+#define GRAPHITE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphite {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Geometric mean; 0 for an empty vector. Values must be positive.
+double GeoMean(const std::vector<double>& xs);
+
+/// Ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;  ///< Coefficient of determination.
+};
+
+/// Fits y against x. Requires xs.size() == ys.size() and size >= 2.
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+/// Plain-text table renderer for benchmark output. Columns are sized to
+/// their widest cell; the first row is treated as a header.
+class TextTable {
+ public:
+  /// Appends a row of cells.
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table with aligned columns and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits = 2);
+
+/// Formats a count with thousands separators (e.g. 1,234,567).
+std::string FormatCount(int64_t v);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_UTIL_STATS_H_

@@ -1,0 +1,49 @@
+// Wall-clock timers for runtime metrics (makespan, compute+ time,
+// messaging time, barrier time).
+#ifndef GRAPHITE_UTIL_TIMER_H_
+#define GRAPHITE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace graphite {
+
+/// Monotonic nanosecond clock reading.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulating stopwatch. Start/Stop may be called repeatedly; elapsed
+/// time across all Start..Stop windows is summed.
+class Stopwatch {
+ public:
+  void Start() { start_ = NowNanos(); }
+  void Stop() { total_ += NowNanos() - start_; }
+  /// Total accumulated nanoseconds.
+  int64_t ElapsedNanos() const { return total_; }
+  double ElapsedMillis() const { return static_cast<double>(total_) / 1e6; }
+  void Reset() { total_ = 0; }
+
+ private:
+  int64_t start_ = 0;
+  int64_t total_ = 0;
+};
+
+/// RAII region timer adding its lifetime to a counter in nanoseconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_UTIL_TIMER_H_

@@ -1,0 +1,39 @@
+#include "util/varint.h"
+
+namespace graphite {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint64(const std::string& buf, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < buf.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(buf[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Truncated or overlong.
+}
+
+size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace graphite

@@ -1,0 +1,70 @@
+// Graph adapters binding the VCM engine to concrete graph views:
+//   SnapshotAdapter    — the temporal graph at one time-point (MSB,
+//                        Chlonos batches, GoFFish inner loop).
+//   TransformedAdapter — the time-expanded transformed graph (TGB).
+#ifndef GRAPHITE_VCM_ADAPTERS_H_
+#define GRAPHITE_VCM_ADAPTERS_H_
+
+#include "graph/snapshot.h"
+#include "graph/temporal_graph.h"
+#include "graph/transformed_graph.h"
+
+namespace graphite {
+
+/// Units are the temporal graph's vertex indices; only vertices alive at
+/// the snapshot time exist. Edges are the out-edges alive at that time.
+class SnapshotAdapter {
+ public:
+  explicit SnapshotAdapter(SnapshotView view) : view_(view) {}
+
+  size_t NumUnits() const { return view_.graph().num_vertices(); }
+  bool UnitExists(uint32_t u) const { return view_.VertexActive(u); }
+  int64_t PartitionId(uint32_t u) const { return view_.graph().vertex_id(u); }
+
+  /// fn(dst_unit, const StoredEdge&, EdgePos) per live out-edge.
+  template <typename Fn>
+  void ForEachOutEdge(uint32_t u, Fn&& fn) const {
+    view_.ForEachOutEdge(u, [&](const StoredEdge& e, EdgePos pos) {
+      fn(static_cast<uint32_t>(e.dst), e, pos);
+    });
+  }
+
+  const SnapshotView& view() const { return view_; }
+
+ private:
+  SnapshotView view_;
+};
+
+/// Units are transformed-graph replicas. Replicas of one original vertex
+/// hash to the same worker (they share PartitionId), mirroring how a
+/// Giraph deployment would partition the transformed graph by vertex name.
+class TransformedAdapter {
+ public:
+  TransformedAdapter(const TransformedGraph* tg, const TemporalGraph* g)
+      : tg_(tg), g_(g) {}
+
+  size_t NumUnits() const { return tg_->num_replicas(); }
+  bool UnitExists(uint32_t) const { return true; }
+  int64_t PartitionId(uint32_t r) const {
+    return g_->vertex_id(tg_->replica_vertex(static_cast<ReplicaIdx>(r)));
+  }
+
+  /// fn(dst_unit, const TransformedGraph::TransitEdge&) per out-edge.
+  template <typename Fn>
+  void ForEachOutEdge(uint32_t r, Fn&& fn) const {
+    for (const auto& e : tg_->OutEdges(static_cast<ReplicaIdx>(r))) {
+      fn(static_cast<uint32_t>(e.dst), e);
+    }
+  }
+
+  const TransformedGraph& transformed() const { return *tg_; }
+  const TemporalGraph& graph() const { return *g_; }
+
+ private:
+  const TransformedGraph* tg_;
+  const TemporalGraph* g_;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_VCM_ADAPTERS_H_

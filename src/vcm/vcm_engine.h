@@ -1,0 +1,208 @@
+// Vertex-centric (Pregel-style) BSP engine. This is the stand-in for stock
+// Apache Giraph: every baseline platform in the paper (MSB, Chlonos, TGB,
+// GoFFish) is implemented over this engine, so — as in the paper — "the
+// primitives are the key distinction and not the ... engine" (§VII-A3).
+//
+// A Program defines:
+//   using Value   = ...;   // per-unit state
+//   using Message = ...;   // payload (needs MessageTraits<Message>)
+//   Value Init(uint32_t unit) const;
+//   void Compute(VcmContext<...>& ctx, uint32_t unit, Value& value,
+//                std::span<const Message> msgs);
+//
+// An Adapter abstracts the graph view the programs run on — a snapshot of
+// the temporal graph (MSB/Chlonos/GoFFish) or the transformed graph (TGB):
+//   size_t NumUnits() const;
+//   bool UnitExists(uint32_t unit) const;
+//   int64_t PartitionId(uint32_t unit) const;   // id hashed for placement
+//
+// Execution follows the paper's activation rule (§IV-A2): units implicitly
+// vote to halt after every superstep and reactivate on message receipt. In
+// superstep 0 every existing unit runs once with no messages (Pregel's
+// initialization superstep). `always_active` keeps every unit live for
+// fixed-iteration algorithms like PageRank.
+#ifndef GRAPHITE_VCM_VCM_ENGINE_H_
+#define GRAPHITE_VCM_VCM_ENGINE_H_
+
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/message_traits.h"
+#include "engine/metrics.h"
+#include "engine/parallel.h"
+#include "graph/partitioner.h"
+#include "util/serde.h"
+#include "util/timer.h"
+
+namespace graphite {
+
+struct VcmOptions {
+  int num_workers = 4;
+  bool use_threads = false;
+  bool always_active = false;
+  int max_supersteps = std::numeric_limits<int>::max();
+};
+
+/// Per-worker send-side context handed to Program::Compute.
+template <typename Message>
+class VcmContext {
+ public:
+  VcmContext(int superstep, int my_worker, const std::vector<int>& worker_of,
+             std::vector<Writer>* wire, int64_t* messages_sent)
+      : superstep_(superstep),
+        my_worker_(my_worker),
+        worker_of_(worker_of),
+        wire_(wire),
+        messages_sent_(messages_sent) {}
+
+  /// Current superstep, starting at 0.
+  int superstep() const { return superstep_; }
+
+  /// Sends `msg` to unit `dst`, delivered at the start of the next
+  /// superstep. Serialized immediately into the destination worker's wire
+  /// buffer so byte metrics reflect the wire format.
+  void Send(uint32_t dst, const Message& msg) {
+    Writer& w = (*wire_)[worker_of_[dst]];
+    w.WriteU64(dst);
+    MessageTraits<Message>::Write(w, msg);
+    ++*messages_sent_;
+  }
+
+  int my_worker() const { return my_worker_; }
+
+ private:
+  int superstep_;
+  int my_worker_;
+  const std::vector<int>& worker_of_;
+  std::vector<Writer>* wire_;
+  int64_t* messages_sent_;
+};
+
+/// Runs `program` over `adapter` to convergence (or max_supersteps).
+/// Final unit values are moved into *out_values if non-null.
+/// `initial_messages` seed the superstep-0 inboxes — used by GoFFish to
+/// carry temporal messages from the previous snapshot; units with seed
+/// messages receive them in superstep 0 (all existing units run then).
+template <typename Program, typename Adapter>
+RunMetrics RunVcm(
+    const Adapter& adapter, Program& program, const VcmOptions& options,
+    std::vector<typename Program::Value>* out_values = nullptr,
+    const std::vector<std::pair<uint32_t, typename Program::Message>>&
+        initial_messages = {}) {
+  using Value = typename Program::Value;
+  using Message = typename Program::Message;
+
+  const size_t n = adapter.NumUnits();
+  const int num_workers = options.num_workers;
+  GRAPHITE_CHECK(num_workers >= 1);
+  HashPartitioner partitioner(num_workers);
+
+  // Placement.
+  std::vector<int> worker_of(n);
+  std::vector<std::vector<uint32_t>> units_by_worker(num_workers);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!adapter.UnitExists(u)) {
+      worker_of[u] = 0;
+      continue;
+    }
+    const int w = partitioner.WorkerOf(adapter.PartitionId(u));
+    worker_of[u] = w;
+    units_by_worker[w].push_back(u);
+  }
+
+  // State.
+  std::vector<Value> values(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (adapter.UnitExists(u)) values[u] = program.Init(u);
+  }
+  std::vector<std::vector<Message>> inbox(n);
+  std::vector<uint8_t> has_mail(n, 0);
+  for (const auto& [unit, msg] : initial_messages) {
+    GRAPHITE_CHECK(unit < n && adapter.UnitExists(unit));
+    inbox[unit].push_back(msg);
+    has_mail[unit] = 1;
+  }
+
+  // Wire buffers, indexed [src_worker][dst_worker].
+  std::vector<std::vector<Writer>> wire(num_workers);
+  for (auto& row : wire) row.resize(num_workers);
+
+  RunMetrics metrics;
+  const int64_t run_start = NowNanos();
+
+  for (int superstep = 0; superstep < options.max_supersteps; ++superstep) {
+    SuperstepMetrics ss;
+    ss.worker_compute_ns.assign(num_workers, 0);
+    ss.worker_in_bytes.assign(num_workers, 0);
+    std::vector<int64_t> worker_messages(num_workers, 0);
+    std::vector<int64_t> worker_calls(num_workers, 0);
+
+    // --- Compute phase. ---
+    RunWorkers(num_workers, options.use_threads, [&](int w) {
+      const int64_t t0 = NowNanos();
+      VcmContext<Message> ctx(superstep, w, worker_of, &wire[w],
+                              &worker_messages[w]);
+      for (uint32_t u : units_by_worker[w]) {
+        const bool active =
+            superstep == 0 || options.always_active || has_mail[u];
+        if (!active) continue;
+        program.Compute(ctx, u, values[u],
+                        std::span<const Message>(inbox[u]));
+        ++worker_calls[w];
+      }
+      ss.worker_compute_ns[w] = NowNanos() - t0;
+    });
+    ss.worker_compute_calls = worker_calls;
+    for (int w = 0; w < num_workers; ++w) {
+      ss.compute_calls += worker_calls[w];
+      ss.messages += worker_messages[w];
+    }
+
+    // --- Barrier + messaging phase: drain wire buffers into inboxes. ---
+    const int64_t barrier_t = NowNanos();
+    for (uint32_t u = 0; u < n; ++u) {
+      if (has_mail[u]) inbox[u].clear();
+      has_mail[u] = 0;
+    }
+    ss.barrier_ns = NowNanos() - barrier_t;
+
+    const int64_t msg_t = NowNanos();
+    bool any_message = false;
+    for (int dst = 0; dst < num_workers; ++dst) {
+      for (int src = 0; src < num_workers; ++src) {
+        Writer& buf = wire[src][dst];
+        if (buf.size() == 0) continue;
+        ss.message_bytes += static_cast<int64_t>(buf.size());
+        if (src != dst) {
+          ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
+        }
+        const std::string bytes = buf.Release();
+        buf = Writer();
+        Reader reader(bytes);
+        while (!reader.AtEnd()) {
+          const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
+          Message msg = MessageTraits<Message>::Read(reader);
+          inbox[unit].push_back(std::move(msg));
+          has_mail[unit] = 1;
+          any_message = true;
+        }
+      }
+    }
+    ss.messaging_ns = NowNanos() - msg_t;
+
+    metrics.Accumulate(ss);
+    // Always-active programs run to max_supersteps (the loop bound);
+    // message-driven ones halt on the first quiet superstep.
+    if (!any_message && !options.always_active) break;
+  }
+
+  metrics.makespan_ns = NowNanos() - run_start;
+  if (out_values != nullptr) *out_values = std::move(values);
+  return metrics;
+}
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_VCM_VCM_ENGINE_H_

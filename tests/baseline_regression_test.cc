@@ -1,0 +1,143 @@
+// Regression tests for baseline-platform pathologies found during
+// development, plus grid-topology (road-network) coverage for all TD
+// platforms — bidirectional grids have 2-cycles everywhere, which once
+// made GoFFish-LD's intra-snapshot candidate exchange ping-pong forever.
+#include <gtest/gtest.h>
+
+#include "algorithms/oracle.h"
+#include "algorithms/runners.h"
+#include "gen/generators.h"
+
+namespace graphite {
+namespace {
+
+Workload GridWorkload() {
+  GenOptions opt;
+  opt.seed = 3131;
+  opt.topology = GenOptions::Topology::kGrid;
+  opt.num_vertices = 36;  // 6x6 bidirectional grid.
+  opt.snapshots = 12;
+  opt.edge_lifespan = GenOptions::Lifespan::kFull;
+  opt.prop_segments = 3;
+  return Workload(Generate(opt));
+}
+
+TEST(GridRegressionTest, LdTerminatesAndAgreesOnAllPlatforms) {
+  Workload w = GridWorkload();
+  RunConfig config;
+  config.target = w.graph().vertex_id(
+      static_cast<VertexIdx>(w.graph().num_vertices() - 1));
+  const auto icm = RunLdOn(w, Platform::kIcm, config);
+  const auto tgb = RunLdOn(w, Platform::kTgb, config);
+  const auto gof = RunLdOn(w, Platform::kGof, config);
+  const auto oracle = OracleLatestDeparture(w.graph(), config.target,
+                                            w.graph().horizon());
+  EXPECT_EQ(icm, oracle);
+  EXPECT_EQ(tgb, oracle);
+  EXPECT_EQ(gof, oracle);
+}
+
+TEST(GridRegressionTest, GofLdMessageCountIsBounded) {
+  Workload w = GridWorkload();
+  RunConfig config;
+  RunMetrics metrics;
+  RunLdOn(w, Platform::kGof, config, &metrics);
+  // Without change-gating the 2-cycles exchange candidates forever; with
+  // it, per snapshot each vertex sends at most twice (seed + change).
+  const int64_t bound = 4 * static_cast<int64_t>(w.graph().num_edges() + w.graph().num_vertices()) *
+                        w.graph().horizon();
+  EXPECT_LT(metrics.messages, bound);
+  EXPECT_LT(metrics.supersteps, 4 * w.graph().horizon());
+}
+
+TEST(GridRegressionTest, PathAlgorithmsAgreeOnGrid) {
+  Workload w = GridWorkload();
+  RunConfig config;
+  const auto icm_sssp = RunSsspOn(w, Platform::kIcm, config);
+  const auto tgb_sssp = RunSsspOn(w, Platform::kTgb, config);
+  const auto gof_sssp = RunSsspOn(w, Platform::kGof, config);
+  const auto oracle = OracleSsspCosts(w.graph(), config.source);
+  for (VertexIdx v = 0; v < w.graph().num_vertices(); ++v) {
+    for (TimePoint t = 0; t < w.graph().horizon(); ++t) {
+      const int64_t want = oracle[v][static_cast<size_t>(t)];
+      ASSERT_EQ(ResultAt<int64_t>(icm_sssp, v, t, kInfCost), want);
+      ASSERT_EQ(ResultAt<int64_t>(tgb_sssp, v, t, kInfCost), want);
+      ASSERT_EQ(ResultAt<int64_t>(gof_sssp, v, t, kInfCost), want);
+    }
+  }
+  EXPECT_EQ(RunEatOn(w, Platform::kGof, config),
+            OracleEat(w.graph(), config.source));
+  EXPECT_EQ(RunFastOn(w, Platform::kGof, config),
+            OracleFastest(w.graph(), config.source));
+}
+
+TEST(GridRegressionTest, TiAlgorithmsAgreeOnGrid) {
+  Workload w = GridWorkload();
+  RunConfig config;
+  const auto icm = RunSccOn(w, Platform::kIcm, config);
+  const auto oracle = OracleScc(w.graph());
+  for (VertexIdx v = 0; v < w.graph().num_vertices(); ++v) {
+    for (TimePoint t = 0; t < w.graph().horizon(); ++t) {
+      ASSERT_EQ(ResultAt<int64_t>(icm, v, t, kInfCost),
+                oracle[v][static_cast<size_t>(t)]);
+    }
+  }
+}
+
+// Chlonos with a batch size of 1 degenerates to MSB (no adjacent
+// snapshots to share across): identical counts.
+TEST(ChlonosBatchTest, BatchOfOneMatchesMsbCounts) {
+  GenOptions opt;
+  opt.seed = 88;
+  opt.num_vertices = 60;
+  opt.num_edges = 240;
+  opt.snapshots = 8;
+  opt.edge_lifespan = GenOptions::Lifespan::kLong;
+  opt.mean_edge_lifespan = 6;
+  Workload w(Generate(opt));
+  RunConfig msb_cfg;
+  RunConfig chl_cfg;
+  chl_cfg.chlonos_batch_size = 1;
+  RunMetrics msb, chl;
+  RunBfsOn(w, Platform::kMsb, msb_cfg, &msb);
+  RunBfsOn(w, Platform::kChl, chl_cfg, &chl);
+  EXPECT_EQ(msb.compute_calls, chl.compute_calls);
+  EXPECT_EQ(msb.messages, chl.messages);
+}
+
+// With the whole horizon in one batch, Chlonos must send no more
+// messages than MSB (sharing can only help), and on long-lifespan graphs
+// strictly fewer.
+TEST(ChlonosBatchTest, FullBatchSharesMessages) {
+  GenOptions opt;
+  opt.seed = 89;
+  opt.num_vertices = 60;
+  opt.num_edges = 240;
+  opt.snapshots = 8;
+  opt.edge_lifespan = GenOptions::Lifespan::kFull;
+  Workload w(Generate(opt));
+  RunConfig msb_cfg;
+  RunConfig chl_cfg;
+  chl_cfg.chlonos_batch_size = 8;
+  RunMetrics msb, chl;
+  RunBfsOn(w, Platform::kMsb, msb_cfg, &msb);
+  RunBfsOn(w, Platform::kChl, chl_cfg, &chl);
+  EXPECT_EQ(msb.compute_calls, chl.compute_calls);  // No compute sharing.
+  EXPECT_LT(chl.messages, msb.messages);            // Message sharing.
+}
+
+// ICM on a static-topology graph must use far fewer compute calls than
+// per-snapshot execution (the USRN effect, §VII-B6).
+TEST(StaticTopologyTest, IcmSharesAcrossAllSnapshots) {
+  Workload w = GridWorkload();
+  RunConfig config;
+  RunMetrics icm, msb;
+  RunBfsOn(w, Platform::kIcm, config, &icm);
+  RunBfsOn(w, Platform::kMsb, config, &msb);
+  // Same per-(v,t) answers with ~T-fold fewer calls.
+  EXPECT_LT(icm.compute_calls * 4, msb.compute_calls);
+  EXPECT_LT(icm.messages * 4, msb.messages);
+}
+
+}  // namespace
+}  // namespace graphite

@@ -1,0 +1,91 @@
+// Tests for the binary graph format: round-trips, canonical form,
+// compactness vs text, and corruption rejection.
+#include "io/binary_format.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "io/text_format.h"
+#include "testutil.h"
+
+namespace graphite {
+namespace {
+
+TEST(BinaryFormatTest, RoundTripTransitGraph) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  const std::string bytes = WriteBinaryGraph(g);
+  auto parsed = ReadBinaryGraph(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_vertices(), g.num_vertices());
+  EXPECT_EQ(parsed->num_edges(), g.num_edges());
+  EXPECT_EQ(parsed->horizon(), g.horizon());
+  // Same semantic content as the text round-trip.
+  EXPECT_EQ(WriteTextGraph(*parsed), WriteTextGraph(g));
+  // Canonical: re-encoding the parse is byte-identical.
+  EXPECT_EQ(WriteBinaryGraph(*parsed), bytes);
+}
+
+TEST(BinaryFormatTest, RoundTripRandomGraphs) {
+  for (uint64_t seed : {1u, 17u, 99u}) {
+    const TemporalGraph g = testutil::MakeRandomGraph(seed);
+    auto parsed = ReadBinaryGraph(WriteBinaryGraph(g));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(WriteTextGraph(*parsed), WriteTextGraph(g)) << seed;
+  }
+}
+
+TEST(BinaryFormatTest, MuchSmallerThanText) {
+  GenOptions opt;
+  opt.num_vertices = 1000;
+  opt.num_edges = 5000;
+  const TemporalGraph g = Generate(opt);
+  const size_t binary = WriteBinaryGraph(g).size();
+  const size_t text = WriteTextGraph(g).size();
+  EXPECT_LT(binary * 3, text);  // At least 3x smaller.
+}
+
+TEST(BinaryFormatTest, RejectsBadMagic) {
+  std::string bytes = WriteBinaryGraph(testutil::MakeTransitGraph());
+  bytes[0] = 'X';
+  EXPECT_FALSE(ReadBinaryGraph(bytes).ok());
+  EXPECT_FALSE(ReadBinaryGraph("").ok());
+  EXPECT_FALSE(ReadBinaryGraph("GT").ok());
+}
+
+TEST(BinaryFormatTest, RejectsCorruptPayload) {
+  std::string bytes = WriteBinaryGraph(testutil::MakeTransitGraph());
+  // Flip a byte deep in the payload: checksum must catch it.
+  bytes[bytes.size() / 2] ^= 0x40;
+  auto parsed = ReadBinaryGraph(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(BinaryFormatTest, RejectsTrailingGarbage) {
+  // Appending bytes invalidates the checksum over the payload region.
+  std::string bytes = WriteBinaryGraph(testutil::MakeTransitGraph());
+  bytes += "garbage";
+  EXPECT_FALSE(ReadBinaryGraph(bytes).ok());
+}
+
+TEST(BinaryFormatTest, FileRoundTrip) {
+  const TemporalGraph g = testutil::MakeRandomGraph(5);
+  const std::string path = ::testing::TempDir() + "/graph.gtg";
+  ASSERT_TRUE(WriteBinaryGraphFile(g, path).ok());
+  auto parsed = ReadBinaryGraphFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_edges(), g.num_edges());
+  EXPECT_FALSE(ReadBinaryGraphFile("/no/such/file.gtg").ok());
+}
+
+TEST(Fnv1aTest, KnownVectorsAndOffsets) {
+  // FNV-1a 64 of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  // "a" -> known constant.
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  // Offset skips the prefix.
+  EXPECT_EQ(Fnv1a64("xxa", 2), Fnv1a64("a"));
+}
+
+}  // namespace
+}  // namespace graphite

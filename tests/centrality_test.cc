@@ -1,0 +1,88 @@
+// Tests for the TD centrality module: closeness vs a hand-computed case
+// and the EAT oracle, propagation ramps, and degree centrality.
+#include "algorithms/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/oracle.h"
+#include "testutil.h"
+
+namespace graphite {
+namespace {
+
+TEST(TemporalClosenessTest, TransitGraphHandComputed) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  ClosenessOptions options;
+  options.num_samples = 0;  // Exhaustive.
+  const ClosenessResult r = TemporalCloseness(g, options);
+  ASSERT_EQ(r.sources.size(), g.num_vertices());
+
+  // From A (start 0): EATs are B=4, C=2, D=3, E=6; F unreachable.
+  // C(A) = 1/5 + 1/3 + 1/4 + 1/7.
+  const double want_a = 1.0 / 5 + 1.0 / 3 + 1.0 / 4 + 1.0 / 7;
+  EXPECT_NEAR(r.closeness[*g.IndexOf(testutil::kA)], want_a, 1e-12);
+  // F reaches nobody.
+  EXPECT_DOUBLE_EQ(r.closeness[*g.IndexOf(testutil::kF)], 0.0);
+  // D reaches only F... D's edge to F is [1,2) and D itself starts at 0:
+  // departure at 1, arrival 2: C(D) = 1/3.
+  EXPECT_NEAR(r.closeness[*g.IndexOf(testutil::kD)], 1.0 / 3, 1e-12);
+}
+
+TEST(TemporalClosenessTest, AgreesWithOracleEat) {
+  const TemporalGraph g = testutil::MakeRandomGraph(777);
+  ClosenessOptions options;
+  options.num_samples = 0;
+  const ClosenessResult r = TemporalCloseness(g, options);
+  for (VertexIdx s = 0; s < g.num_vertices(); ++s) {
+    const auto eat = OracleEat(g, g.vertex_id(s));
+    const TimePoint start =
+        std::max<TimePoint>(0, g.vertex_interval(s).start);
+    double want = 0;
+    for (VertexIdx u = 0; u < g.num_vertices(); ++u) {
+      if (u == s || eat[u] == kInfCost) continue;
+      want += 1.0 / static_cast<double>(eat[u] - start + 1);
+    }
+    ASSERT_NEAR(r.closeness[s], want, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(TemporalClosenessTest, SamplingIsDeterministicSubset) {
+  const TemporalGraph g = testutil::MakeRandomGraph(778);
+  ClosenessOptions options;
+  options.num_samples = 5;
+  const ClosenessResult a = TemporalCloseness(g, options);
+  const ClosenessResult b = TemporalCloseness(g, options);
+  EXPECT_EQ(a.sources, b.sources);
+  EXPECT_EQ(a.sources.size(), 5u);
+  int computed = 0;
+  for (double c : a.closeness) {
+    if (c >= 0) ++computed;
+  }
+  EXPECT_EQ(computed, 5);
+}
+
+TEST(PropagationRampTest, MonotoneAndMatchesEat) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  const auto ramp = PropagationRamp(g, testutil::kA);
+  ASSERT_EQ(ramp.size(), 10u);
+  // A itself reached at 0; C at 2, D at 3, B at 4, E at 6.
+  EXPECT_EQ(ramp[0], 1);
+  EXPECT_EQ(ramp[2], 2);
+  EXPECT_EQ(ramp[3], 3);
+  EXPECT_EQ(ramp[4], 4);
+  EXPECT_EQ(ramp[6], 5);
+  EXPECT_EQ(ramp[9], 5);  // F never joins.
+  for (size_t t = 1; t < ramp.size(); ++t) EXPECT_GE(ramp[t], ramp[t - 1]);
+}
+
+TEST(TemporalDegreeCentralityTest, SumsEdgeLifespans) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  const auto degree = TemporalDegreeCentrality(g);
+  // A's edges: [3,6) + [1,2) + [2,4) = 3 + 1 + 2 = 6 time-points.
+  EXPECT_EQ(degree[*g.IndexOf(testutil::kA)], 6);
+  EXPECT_EQ(degree[*g.IndexOf(testutil::kE)], 0);
+  EXPECT_EQ(degree[*g.IndexOf(testutil::kD)], 1);
+}
+
+}  // namespace
+}  // namespace graphite

@@ -1,0 +1,222 @@
+// Cross-validation of every ICM algorithm against an independent
+// sequential oracle, per (vertex, time-point), on randomized temporal
+// multi-graphs. Vertex lifespans are bounded by the horizon, so every
+// feasible arrival lands inside the oracle's (v, t) grid and the
+// comparison is exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/icm_clustering.h"
+#include "algorithms/icm_path.h"
+#include "algorithms/icm_ti.h"
+#include "algorithms/oracle.h"
+#include "testutil.h"
+
+namespace graphite {
+namespace {
+
+class IcmOracleTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    testutil::RandomGraphOptions opt;
+    opt.full_lifespan_prob = 0.6;
+    graph_ = testutil::MakeRandomGraph(GetParam(), opt);
+    source_ = 0;  // Vertex id 0 always exists.
+  }
+
+  TemporalGraph graph_;
+  VertexId source_;
+};
+
+TEST_P(IcmOracleTest, SsspMatchesProductSpaceDijkstra) {
+  IcmSssp program(graph_, source_);
+  auto result = IcmEngine<IcmSssp>::Run(graph_, program);
+  const auto oracle = OracleSsspCosts(graph_, source_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      const int64_t got =
+          result.states[v].Get(t).value_or(kInfCost);
+      ASSERT_EQ(got, oracle[v][static_cast<size_t>(t)])
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, ReachMatchesOracle) {
+  IcmReach program(graph_, source_);
+  auto result = IcmEngine<IcmReach>::Run(graph_, program);
+  const auto oracle = OracleReach(graph_, source_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      const uint8_t got = result.states[v].Get(t).value_or(0);
+      ASSERT_EQ(got, oracle[v][static_cast<size_t>(t)])
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, EatMatchesOracle) {
+  IcmEat program(graph_, source_);
+  auto result = IcmEngine<IcmEat>::Run(graph_, program);
+  const auto oracle = OracleEat(graph_, source_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    int64_t got = kInfCost;
+    for (const auto& entry : result.states[v].entries()) {
+      got = std::min(got, entry.value);
+    }
+    ASSERT_EQ(got, oracle[v]) << "v=" << v << " seed=" << GetParam();
+  }
+}
+
+TEST_P(IcmOracleTest, TmstArrivalsMatchEatAndParentsAreConsistent) {
+  IcmTmst program(graph_, source_);
+  auto result = IcmEngine<IcmTmst>::Run(graph_, program);
+  const auto eat = OracleEat(graph_, source_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    std::pair<int64_t, int64_t> best = {kInfCost, -1};
+    for (const auto& entry : result.states[v].entries()) {
+      if (entry.value < best) best = entry.value;
+    }
+    ASSERT_EQ(best.first == kInfCost ? kInfCost : best.first, eat[v])
+        << "v=" << v << " seed=" << GetParam();
+    if (best.first != kInfCost && graph_.vertex_id(v) != source_) {
+      // The parent must itself be reachable no later than the child.
+      auto p = graph_.IndexOf(best.second);
+      ASSERT_TRUE(p.has_value());
+      ASSERT_LE(eat[*p], best.first);
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, LatestDepartureMatchesOracle) {
+  const TemporalGraph reversed = ReverseGraph(graph_);
+  const TimePoint deadline = graph_.horizon();
+  // Pick the highest vertex id as target for variety.
+  const VertexId target =
+      graph_.vertex_id(static_cast<VertexIdx>(graph_.num_vertices() - 1));
+  IcmLatestDeparture program(reversed, target, deadline);
+  auto result = IcmEngine<IcmLatestDeparture>::Run(reversed, program);
+  const auto oracle = OracleLatestDeparture(graph_, target, deadline);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    int64_t got = kNegInf;
+    for (const auto& entry : result.states[v].entries()) {
+      got = std::max(got, entry.value);
+    }
+    ASSERT_EQ(got, oracle[v]) << "v=" << v << " seed=" << GetParam();
+  }
+}
+
+TEST_P(IcmOracleTest, FastestMatchesOracle) {
+  IcmFast program(graph_, source_);
+  auto result = IcmEngine<IcmFast>::Run(graph_, program);
+  const auto oracle = OracleFastest(graph_, source_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    int64_t got = graph_.vertex_id(v) == source_ ? 0 : kInfCost;
+    if (graph_.vertex_id(v) != source_) {
+      for (const auto& entry : result.states[v].entries()) {
+        if (entry.value == kNegInf) continue;
+        got = std::min(got, entry.interval.start - entry.value);
+      }
+    }
+    ASSERT_EQ(got, oracle[v]) << "v=" << v << " seed=" << GetParam();
+  }
+}
+
+TEST_P(IcmOracleTest, BfsMatchesPerSnapshotBfs) {
+  IcmBfs program(source_);
+  auto result = IcmEngine<IcmBfs>::Run(graph_, program);
+  const auto oracle = OracleBfs(graph_, source_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      const int64_t got = result.states[v].Get(t).value_or(kInfCost);
+      ASSERT_EQ(got, oracle[v][static_cast<size_t>(t)])
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, WccMatchesPerSnapshotUnionFind) {
+  const TemporalGraph undirected = MakeUndirected(graph_);
+  IcmWcc program;
+  auto result = IcmEngine<IcmWcc>::Run(undirected, program);
+  const auto oracle = OracleWcc(graph_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      const int64_t got = result.states[v].Get(t).value_or(kInfCost);
+      ASSERT_EQ(got, oracle[v][static_cast<size_t>(t)])
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, SccMatchesPerSnapshotTarjan) {
+  const TemporalGraph reversed = ReverseGraph(graph_);
+  auto run = RunIcmScc(graph_, reversed, IcmOptions{});
+  const auto oracle = OracleScc(graph_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      const int64_t got = run.components[v].Get(t).value_or(kInfCost);
+      ASSERT_EQ(got, oracle[v][static_cast<size_t>(t)])
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+  EXPECT_GE(run.rounds, 1);
+}
+
+TEST_P(IcmOracleTest, PageRankMatchesPerSnapshotPowerIteration) {
+  IcmPageRank program(graph_);
+  auto result =
+      IcmEngine<IcmPageRank>::Run(graph_, program, PageRankOptions());
+  const auto oracle = OraclePageRank(graph_, IcmPageRank::kIterations);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      if (!graph_.vertex_interval(v).Contains(t)) continue;
+      const double got = result.states[v].Get(t).value_or(-1.0);
+      const double want = oracle[v][static_cast<size_t>(t)];
+      ASSERT_NEAR(got, want, 1e-9 * std::max(1.0, std::fabs(want)))
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, TriangleCountMatchesPerSnapshotEnumeration) {
+  IcmTriangleCount program;
+  auto result =
+      IcmEngine<IcmTriangleCount>::Run(graph_, program, TriangleOptions());
+  const auto counts = TriangleCounts(result.states);
+  const auto oracle = OracleTriangles(graph_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      const int64_t got = ResultAt<int64_t>(counts, v, t, 0);
+      ASSERT_EQ(got, oracle[v][static_cast<size_t>(t)])
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(IcmOracleTest, LccMatchesTrianglesOverDegree) {
+  auto run = RunIcmLcc(graph_, IcmOptions{});
+  const auto tri = OracleTriangles(graph_);
+  const auto degrees = OutDegreeProfiles(graph_);
+  for (VertexIdx v = 0; v < graph_.num_vertices(); ++v) {
+    for (TimePoint t = 0; t < graph_.horizon(); ++t) {
+      if (!graph_.vertex_interval(v).Contains(t)) continue;
+      const int64_t d = degrees[v].Get(t).value_or(0);
+      const double want =
+          (d >= 2 && tri[v][static_cast<size_t>(t)] > 0)
+              ? static_cast<double>(tri[v][static_cast<size_t>(t)]) /
+                    static_cast<double>(d * (d - 1))
+              : 0.0;
+      const double got = ResultAt<double>(run.lcc, v, t, 0.0);
+      ASSERT_NEAR(got, want, 1e-12)
+          << "v=" << v << " t=" << t << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IcmOracleTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace graphite

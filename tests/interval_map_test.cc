@@ -1,0 +1,169 @@
+// Unit + property tests for IntervalMap, the partitioned-vertex-state
+// store with dynamic repartitioning (§IV-A1).
+#include "temporal/interval_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace graphite {
+namespace {
+
+TEST(IntervalMapTest, SingleEntryConstruction) {
+  IntervalMap<int> m(Interval(0, 10), 42);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.Get(0), 42);
+  EXPECT_EQ(m.Get(9), 42);
+  EXPECT_EQ(m.Get(10), std::nullopt);
+  EXPECT_TRUE(m.CoversExactly(Interval(0, 10)));
+}
+
+TEST(IntervalMapTest, SetSplitsPrefix) {
+  // The paper's repartition example: updating an initial sub-interval of a
+  // partitioned state splits it in two.
+  IntervalMap<int> m(Interval(0, 10), 5);
+  m.Set(Interval(0, 4), 7);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.entries()[0].interval, Interval(0, 4));
+  EXPECT_EQ(m.entries()[0].value, 7);
+  EXPECT_EQ(m.entries()[1].interval, Interval(4, 10));
+  EXPECT_EQ(m.entries()[1].value, 5);
+  EXPECT_TRUE(m.CoversExactly(Interval(0, 10)));
+}
+
+TEST(IntervalMapTest, SetSplitsMiddle) {
+  IntervalMap<int> m(Interval(0, 10), 5);
+  m.Set(Interval(3, 6), 9);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.Get(2), 5);
+  EXPECT_EQ(m.Get(3), 9);
+  EXPECT_EQ(m.Get(5), 9);
+  EXPECT_EQ(m.Get(6), 5);
+  EXPECT_TRUE(m.CoversExactly(Interval(0, 10)));
+}
+
+TEST(IntervalMapTest, SetAcrossMultipleEntries) {
+  IntervalMap<int> m(Interval(0, 12), 1);
+  m.Set(Interval(0, 4), 2);
+  m.Set(Interval(8, 12), 3);
+  m.Set(Interval(2, 10), 4);  // Overwrites tails of all three regions.
+  EXPECT_EQ(m.Get(0), 2);
+  EXPECT_EQ(m.Get(1), 2);
+  EXPECT_EQ(m.Get(2), 4);
+  EXPECT_EQ(m.Get(9), 4);
+  EXPECT_EQ(m.Get(10), 3);
+  EXPECT_TRUE(m.CoversExactly(Interval(0, 12)));
+  EXPECT_TRUE(m.IsWellFormed());
+}
+
+TEST(IntervalMapTest, SetIntoEmptyMapAndGaps) {
+  IntervalMap<int> m;
+  m.Set(Interval(5, 8), 1);
+  m.Set(Interval(10, 12), 2);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Get(8), std::nullopt);  // gap allowed for properties
+  EXPECT_EQ(m.Get(11), 2);
+  EXPECT_FALSE(m.CoversExactly(Interval(5, 12)));
+}
+
+TEST(IntervalMapTest, SetOpenEndedInterval) {
+  IntervalMap<int> m(Interval(0, kTimeMax), 0);
+  m.Set(Interval(9, kTimeMax), 5);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Get(8), 0);
+  EXPECT_EQ(m.Get(1'000'000'000), 5);
+  EXPECT_TRUE(m.CoversExactly(Interval(0, kTimeMax)));
+}
+
+TEST(IntervalMapTest, EraseSplitsBoundaries) {
+  IntervalMap<int> m(Interval(0, 10), 1);
+  m.Erase(Interval(3, 6));
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Get(2), 1);
+  EXPECT_EQ(m.Get(3), std::nullopt);
+  EXPECT_EQ(m.Get(6), 1);
+}
+
+TEST(IntervalMapTest, CoalesceMergesEqualAdjacent) {
+  IntervalMap<int> m(Interval(0, 10), 1);
+  m.Set(Interval(3, 6), 1);  // Same value: split then re-merged.
+  m.Coalesce();
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.entries()[0].interval, Interval(0, 10));
+}
+
+TEST(IntervalMapTest, CoalesceKeepsDistinctValues) {
+  IntervalMap<int> m(Interval(0, 10), 1);
+  m.Set(Interval(3, 6), 2);
+  m.Coalesce();
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(IntervalMapTest, ForEachIntersectingClipsToQuery) {
+  IntervalMap<int> m(Interval(0, 10), 1);
+  m.Set(Interval(4, 7), 2);
+  std::vector<std::pair<Interval, int>> seen;
+  m.ForEachIntersecting(Interval(5, 9), [&](const Interval& iv, int v) {
+    seen.emplace_back(iv, v);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(Interval(5, 7), 2));
+  EXPECT_EQ(seen[1], std::make_pair(Interval(7, 9), 1));
+}
+
+TEST(IntervalMapTest, FindReturnsCoveringEntry) {
+  IntervalMap<int> m;
+  m.Set(Interval(2, 5), 1);
+  m.Set(Interval(8, 9), 2);
+  EXPECT_EQ(m.Find(1), nullptr);
+  ASSERT_NE(m.Find(4), nullptr);
+  EXPECT_EQ(m.Find(4)->value, 1);
+  EXPECT_EQ(m.Find(6), nullptr);
+  EXPECT_EQ(m.Find(8)->value, 2);
+}
+
+TEST(IntervalMapTest, SpanIsHull) {
+  IntervalMap<int> m;
+  EXPECT_TRUE(m.Span().IsEmpty());
+  m.Set(Interval(3, 5), 1);
+  m.Set(Interval(9, 12), 2);
+  EXPECT_EQ(m.Span(), Interval(3, 12));
+}
+
+// Property test: a long random sequence of Set operations agrees with a
+// brute-force per-time-point model, and the map stays well-formed.
+class IntervalMapRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalMapRandomTest, AgreesWithPointwiseModel) {
+  Rng rng(GetParam());
+  constexpr TimePoint kHorizon = 40;
+  IntervalMap<int> m(Interval(0, kHorizon), -1);
+  std::map<TimePoint, int> model;
+  for (TimePoint t = 0; t < kHorizon; ++t) model[t] = -1;
+
+  for (int op = 0; op < 200; ++op) {
+    const TimePoint s = rng.UniformRange(0, kHorizon - 1);
+    const TimePoint e = rng.UniformRange(s + 1, kHorizon + 1);
+    const int val = static_cast<int>(rng.Uniform(5));
+    m.Set(Interval(s, e), val);
+    for (TimePoint t = s; t < e; ++t) model[t] = val;
+
+    ASSERT_TRUE(m.IsWellFormed());
+    ASSERT_TRUE(m.CoversExactly(Interval(0, kHorizon)));
+    if (op % 10 == 0) {
+      m.Coalesce();
+      ASSERT_TRUE(m.IsWellFormed());
+    }
+    for (TimePoint t = 0; t < kHorizon; ++t) {
+      ASSERT_EQ(m.Get(t), model[t]) << "t=" << t << " op=" << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalMapRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 42, 1234));
+
+}  // namespace
+}  // namespace graphite

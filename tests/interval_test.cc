@@ -1,0 +1,154 @@
+// Unit tests for the time domain, Interval relations and parsing (§III).
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/allen.h"
+
+namespace graphite {
+namespace {
+
+TEST(IntervalTest, ValidityAndEmptiness) {
+  EXPECT_TRUE(Interval(0, 1).IsValid());
+  EXPECT_TRUE(Interval(-5, 5).IsValid());
+  EXPECT_FALSE(Interval(3, 3).IsValid());
+  EXPECT_FALSE(Interval(4, 3).IsValid());
+  EXPECT_TRUE(Interval::Empty().IsEmpty());
+  EXPECT_TRUE(Interval::All().IsValid());
+}
+
+TEST(IntervalTest, UnitAndOpenEnded) {
+  EXPECT_TRUE(Interval(7, 8).IsUnit());
+  EXPECT_FALSE(Interval(7, 9).IsUnit());
+  EXPECT_TRUE(Interval(3, kTimeMax).IsOpenEnded());
+  EXPECT_FALSE(Interval(3, 9).IsOpenEnded());
+}
+
+TEST(IntervalTest, Length) {
+  EXPECT_EQ(Interval(2, 10).Length(), 8);
+  EXPECT_EQ(Interval(0, kTimeMax).Length(), kTimeMax);
+  EXPECT_EQ(Interval::Empty().Length(), 0);
+}
+
+TEST(IntervalTest, ContainsTimePoint) {
+  Interval iv(3, 7);
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(6));
+  EXPECT_FALSE(iv.Contains(7));  // Half-open: end excluded.
+}
+
+TEST(IntervalTest, ContainedIn) {
+  EXPECT_TRUE(Interval(3, 5).ContainedIn(Interval(3, 5)));
+  EXPECT_TRUE(Interval(4, 5).ContainedIn(Interval(3, 6)));
+  EXPECT_FALSE(Interval(2, 5).ContainedIn(Interval(3, 6)));
+  EXPECT_FALSE(Interval(5, 7).ContainedIn(Interval(3, 6)));
+}
+
+TEST(IntervalTest, DuringIsStrict) {
+  EXPECT_TRUE(Interval(4, 5).During(Interval(3, 6)));
+  EXPECT_FALSE(Interval(3, 6).During(Interval(3, 6)));
+}
+
+TEST(IntervalTest, Intersects) {
+  EXPECT_TRUE(Interval(0, 5).Intersects(Interval(4, 9)));
+  EXPECT_FALSE(Interval(0, 4).Intersects(Interval(4, 9)));  // meets only
+  EXPECT_FALSE(Interval(0, 4).Intersects(Interval(8, 9)));
+  EXPECT_TRUE(Interval(0, kTimeMax).Intersects(Interval(100, 101)));
+}
+
+TEST(IntervalTest, Meets) {
+  EXPECT_TRUE(Interval(0, 4).Meets(Interval(4, 9)));
+  EXPECT_FALSE(Interval(0, 4).Meets(Interval(5, 9)));
+  EXPECT_FALSE(Interval(0, 4).Meets(Interval(3, 9)));
+}
+
+TEST(IntervalTest, Intersection) {
+  EXPECT_EQ(Interval(0, 5).Intersect(Interval(3, 9)), Interval(3, 5));
+  EXPECT_TRUE(Interval(0, 3).Intersect(Interval(3, 9)).IsEmpty());
+  EXPECT_EQ(Interval(0, kTimeMax).Intersect(Interval(3, 9)), Interval(3, 9));
+}
+
+TEST(IntervalTest, Ordering) {
+  EXPECT_LT(Interval(1, 5), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 5));
+}
+
+TEST(IntervalTest, ToStringRendersInfinities) {
+  EXPECT_EQ(Interval(3, 7).ToString(), "[3, 7)");
+  EXPECT_EQ(Interval(3, kTimeMax).ToString(), "[3, inf)");
+  EXPECT_EQ(Interval(kTimeMin, 7).ToString(), "[-inf, 7)");
+}
+
+TEST(IntervalTest, ParseRoundTrip) {
+  auto r = ParseInterval("[3, 7)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Interval(3, 7));
+  r = ParseInterval("[5, inf)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Interval(5, kTimeMax));
+  r = ParseInterval("0 10");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Interval(0, 10));
+}
+
+TEST(IntervalTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseInterval("").ok());
+  EXPECT_FALSE(ParseInterval("[3)").ok());
+  EXPECT_FALSE(ParseInterval("[x, 7)").ok());
+  EXPECT_FALSE(ParseInterval("[7, 3)").ok());  // start >= end
+}
+
+TEST(AllenTest, AllThirteenRelations) {
+  const Interval b(10, 20);
+  EXPECT_EQ(Classify({0, 5}, b), AllenRelation::kBefore);
+  EXPECT_EQ(Classify({0, 10}, b), AllenRelation::kMeets);
+  EXPECT_EQ(Classify({5, 15}, b), AllenRelation::kOverlaps);
+  EXPECT_EQ(Classify({10, 15}, b), AllenRelation::kStarts);
+  EXPECT_EQ(Classify({12, 18}, b), AllenRelation::kDuring);
+  EXPECT_EQ(Classify({15, 20}, b), AllenRelation::kFinishes);
+  EXPECT_EQ(Classify({10, 20}, b), AllenRelation::kEquals);
+  EXPECT_EQ(Classify({5, 20}, b), AllenRelation::kFinishedBy);
+  EXPECT_EQ(Classify({5, 25}, b), AllenRelation::kContains);
+  EXPECT_EQ(Classify({10, 25}, b), AllenRelation::kStartedBy);
+  EXPECT_EQ(Classify({15, 25}, b), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(Classify({20, 25}, b), AllenRelation::kMetBy);
+  EXPECT_EQ(Classify({25, 30}, b), AllenRelation::kAfter);
+}
+
+// Property sweep: for every pair of small intervals, exactly one Allen
+// relation holds, Classify(b, a) is its inverse, and the Interval subset
+// predicates agree with the algebra.
+TEST(AllenTest, ExhaustiveSmallPairsAgreeWithSubsetPredicates) {
+  for (TimePoint as = 0; as < 6; ++as) {
+    for (TimePoint ae = as + 1; ae <= 6; ++ae) {
+      for (TimePoint bs = 0; bs < 6; ++bs) {
+        for (TimePoint be = bs + 1; be <= 6; ++be) {
+          const Interval a(as, ae), b(bs, be);
+          const AllenRelation r = Classify(a, b);
+          EXPECT_EQ(Inverse(r), Classify(b, a))
+              << a.ToString() << " vs " << b.ToString();
+          const bool expect_intersects =
+              r != AllenRelation::kBefore && r != AllenRelation::kMeets &&
+              r != AllenRelation::kMetBy && r != AllenRelation::kAfter;
+          EXPECT_EQ(a.Intersects(b), expect_intersects);
+          const bool expect_contained =
+              r == AllenRelation::kEquals || r == AllenRelation::kDuring ||
+              r == AllenRelation::kStarts || r == AllenRelation::kFinishes;
+          EXPECT_EQ(a.ContainedIn(b), expect_contained);
+          EXPECT_EQ(a.Meets(b), r == AllenRelation::kMeets);
+          EXPECT_EQ(a == b, r == AllenRelation::kEquals);
+        }
+      }
+    }
+  }
+}
+
+TEST(AllenTest, NamesAreDistinct) {
+  EXPECT_STREQ(AllenRelationName(AllenRelation::kBefore), "before");
+  EXPECT_STREQ(AllenRelationName(AllenRelation::kOverlappedBy),
+               "overlapped-by");
+}
+
+}  // namespace
+}  // namespace graphite

@@ -1,0 +1,89 @@
+// Property tests for the Table-1 statistics: the sweep-line results must
+// equal brute-force per-snapshot counting, on randomized graphs.
+#include <gtest/gtest.h>
+
+#include "algorithms/runners.h"
+#include "graph/graph_stats.h"
+#include "graph/snapshot.h"
+#include "testutil.h"
+
+namespace graphite {
+namespace {
+
+class GraphStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphStatsPropertyTest, SweepMatchesBruteForce) {
+  testutil::RandomGraphOptions opt;
+  opt.num_vertices = 30;
+  opt.num_edges = 90;
+  const TemporalGraph g = testutil::MakeRandomGraph(GetParam(), opt);
+  const GraphStats s = ComputeGraphStats(g, /*include_transformed=*/false);
+
+  size_t max_v = 0, max_e = 0, sum_v = 0, sum_e = 0;
+  for (TimePoint t = 0; t < g.horizon(); ++t) {
+    size_t nv, ne;
+    SnapshotView(&g, t).CountActive(&nv, &ne);
+    max_v = std::max(max_v, nv);
+    max_e = std::max(max_e, ne);
+    sum_v += nv;
+    sum_e += ne;
+  }
+  EXPECT_EQ(s.largest_snapshot_v, max_v);
+  EXPECT_EQ(s.largest_snapshot_e, max_e);
+  EXPECT_EQ(s.multi_snapshot_v, sum_v);
+  EXPECT_EQ(s.multi_snapshot_e, sum_e);
+  EXPECT_EQ(s.interval_v, g.num_vertices());
+  EXPECT_EQ(s.interval_e, g.num_edges());
+  EXPECT_GE(s.avg_vertex_lifespan, 1.0);
+  EXPECT_GE(s.avg_edge_lifespan, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphStatsPropertyTest,
+                         ::testing::Values(1001, 1002, 1003, 1004));
+
+TEST(RunnersTest, SupportMatrixMatchesPaper) {
+  // TI: ICM + MSB + CHL; TD: ICM + TGB + GOF (paper §VII-A3).
+  for (Algorithm a : kAllAlgorithms) {
+    EXPECT_TRUE(Supports(Platform::kIcm, a));
+    EXPECT_EQ(Supports(Platform::kMsb, a), !IsTimeDependent(a));
+    EXPECT_EQ(Supports(Platform::kChl, a), !IsTimeDependent(a));
+    EXPECT_EQ(Supports(Platform::kTgb, a), IsTimeDependent(a));
+    EXPECT_EQ(Supports(Platform::kGof, a), IsTimeDependent(a));
+  }
+  int td = 0, ti = 0;
+  for (Algorithm a : kAllAlgorithms) (IsTimeDependent(a) ? td : ti)++;
+  EXPECT_EQ(ti, 4);  // BFS, WCC, SCC, PR.
+  EXPECT_EQ(td, 8);  // SSSP, EAT, FAST, LD, TMST, RH, LCC, TC.
+}
+
+TEST(RunnersTest, NamesAreStable) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kSssp), "SSSP");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kLcc), "LCC");
+  EXPECT_STREQ(PlatformName(Platform::kIcm), "ICM");
+  EXPECT_STREQ(PlatformName(Platform::kGof), "GOF");
+}
+
+TEST(RunnersTest, RunForMetricsCoversEverySupportedPair) {
+  testutil::RandomGraphOptions opt;
+  opt.num_vertices = 16;
+  opt.num_edges = 40;
+  opt.horizon = 6;
+  Workload w(testutil::MakeRandomGraph(555, opt));
+  RunConfig config;
+  config.num_workers = 2;
+  int runs = 0;
+  for (Algorithm a : kAllAlgorithms) {
+    for (Platform p : {Platform::kIcm, Platform::kMsb, Platform::kChl,
+                       Platform::kTgb, Platform::kGof}) {
+      if (!Supports(p, a)) continue;
+      const RunMetrics m = RunForMetrics(w, p, a, config);
+      EXPECT_GE(m.supersteps, 1) << AlgorithmName(a) << PlatformName(p);
+      EXPECT_GT(m.compute_calls, 0) << AlgorithmName(a) << PlatformName(p);
+      ++runs;
+    }
+  }
+  EXPECT_EQ(runs, 4 * 3 + 8 * 3);  // 12 algorithms x 3 platforms each.
+}
+
+}  // namespace
+}  // namespace graphite

@@ -1,0 +1,134 @@
+// Tests for the time-expanded transformed graph (TGB substrate).
+#include "graph/transformed_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace graphite {
+namespace {
+
+TEST(TransformedGraphTest, TransitGraphUnrolls) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  const TransformedGraph tg = BuildTransformedGraph(g);
+
+  // A's replicas: departure times of its out-edges = {1,2,3,4,5}.
+  const VertexIdx a = *g.IndexOf(testutil::kA);
+  auto a_reps = tg.ReplicasOf(a);
+  ASSERT_EQ(a_reps.size(), 5u);
+  EXPECT_EQ(tg.replica_time(a_reps.front()), 1);
+  EXPECT_EQ(tg.replica_time(a_reps.back()), 5);
+
+  // B: arrivals {4,5,6} from A, departure {8} on B->E.
+  const VertexIdx b = *g.IndexOf(testutil::kB);
+  auto b_reps = tg.ReplicasOf(b);
+  ASSERT_EQ(b_reps.size(), 4u);
+  EXPECT_EQ(tg.replica_time(b_reps[0]), 4);
+  EXPECT_EQ(tg.replica_time(b_reps[3]), 8);
+
+  // Chain edges connect consecutive replicas of one vertex.
+  EXPECT_GT(tg.num_chain_edges(), 0u);
+  int chains = 0;
+  for (const auto& e : tg.OutEdges(b_reps[0])) {
+    if (e.is_chain) {
+      EXPECT_EQ(tg.replica_vertex(e.dst), b);
+      EXPECT_EQ(tg.replica_time(e.dst), 5);
+      ++chains;
+    }
+  }
+  EXPECT_EQ(chains, 1);
+}
+
+TEST(TransformedGraphTest, TransitEdgesCarryCostAndTime) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  const TransformedGraph tg = BuildTransformedGraph(g);
+  const VertexIdx a = *g.IndexOf(testutil::kA);
+  const VertexIdx b = *g.IndexOf(testutil::kB);
+  // A@4 -> B@5 costs 4 (property [3,5)); A@5 -> B@6 costs 3 ([5,6)).
+  const ReplicaIdx a4 = tg.ReplicaAt(a, 4);
+  ASSERT_NE(a4, kInvalidReplica);
+  bool found = false;
+  for (const auto& e : tg.OutEdges(a4)) {
+    if (!e.is_chain && tg.replica_vertex(e.dst) == b) {
+      EXPECT_EQ(tg.replica_time(e.dst), 5);
+      EXPECT_EQ(e.cost, 4);
+      EXPECT_EQ(e.travel_time, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  const ReplicaIdx a5 = tg.ReplicaAt(a, 5);
+  for (const auto& e : tg.OutEdges(a5)) {
+    if (!e.is_chain && tg.replica_vertex(e.dst) == b) {
+      EXPECT_EQ(e.cost, 3);
+    }
+  }
+}
+
+TEST(TransformedGraphTest, ReplicaLookups) {
+  const TemporalGraph g = testutil::MakeTransitGraph();
+  const TransformedGraph tg = BuildTransformedGraph(g);
+  const VertexIdx a = *g.IndexOf(testutil::kA);
+  EXPECT_EQ(tg.ReplicaAt(a, 0), kInvalidReplica);
+  EXPECT_NE(tg.ReplicaAt(a, 3), kInvalidReplica);
+  EXPECT_EQ(tg.replica_time(tg.FirstReplicaAtOrAfter(a, 0)), 1);
+  EXPECT_EQ(tg.replica_time(tg.LastReplicaAtOrBefore(a, 10)), 5);
+  EXPECT_EQ(tg.FirstReplicaAtOrAfter(a, 6), kInvalidReplica);
+  EXPECT_EQ(tg.LastReplicaAtOrBefore(a, 0), kInvalidReplica);
+}
+
+TEST(TransformedGraphTest, CountMatchesBuild) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    const TemporalGraph g = testutil::MakeRandomGraph(seed);
+    const TransformedGraph tg = BuildTransformedGraph(g);
+    size_t replicas = 0, edges = 0;
+    CountTransformedGraph(g, TransformOptions(), &replicas, &edges);
+    EXPECT_EQ(replicas, tg.num_replicas());
+    EXPECT_EQ(edges, tg.num_edges());
+  }
+}
+
+TEST(TransformedGraphTest, BloatGrowsWithLifespan) {
+  // The transformed graph of a long-lifespan graph is much larger than the
+  // interval graph — the TGB pathology (Table 1, §VII-B4).
+  testutil::RandomGraphOptions opt;
+  opt.unit_lifespan_prob = 0.0;
+  opt.full_lifespan_prob = 1.0;
+  opt.horizon = 20;
+  const TemporalGraph g = testutil::MakeRandomGraph(9, opt);
+  const TransformedGraph tg = BuildTransformedGraph(g);
+  EXPECT_GT(tg.num_replicas(), 4 * g.num_vertices());
+  EXPECT_GT(tg.num_edges(), 4 * g.num_edges());
+  EXPECT_GT(tg.MemoryFootprintBytes(), g.MemoryFootprintBytes());
+}
+
+TEST(TransformedGraphTest, ForcedZeroTravelTimeConnectsSameTime) {
+  const TemporalGraph g = testutil::MakeRandomGraph(11);
+  TransformOptions options;
+  options.forced_travel_time = 0;
+  const TransformedGraph tg = BuildTransformedGraph(g, options);
+  for (ReplicaIdx r = 0; r < tg.num_replicas(); ++r) {
+    for (const auto& e : tg.OutEdges(r)) {
+      if (!e.is_chain) {
+        EXPECT_EQ(tg.replica_time(e.dst), tg.replica_time(r));
+      }
+    }
+  }
+}
+
+TEST(TransformedGraphTest, ArrivalsOutsideSinkLifespanDropped) {
+  TemporalGraphBuilder b;
+  b.AddVertex(1, Interval(0, 10));
+  b.AddVertex(2, Interval(0, 5));
+  b.AddEdge(1, 1, 2, Interval(3, 5));
+  b.SetEdgeProperty(1, "travel-time", Interval(3, 5), 2);
+  auto g = std::move(b.Build()).value();
+  const TransformedGraph tg = BuildTransformedGraph(g);
+  // Departures at 3 and 4 arrive at 5 and 6 — both outside vertex 2's
+  // lifespan [0,5), so vertex 2 gets no replicas and no transit edges.
+  EXPECT_EQ(tg.ReplicasOf(*g.IndexOf(2)).size(), 0u);
+  EXPECT_EQ(tg.num_edges(), tg.num_chain_edges());
+}
+
+}  // namespace
+}  // namespace graphite

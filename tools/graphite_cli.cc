@@ -1,0 +1,251 @@
+// graphite — command-line driver for the library.
+//
+//   graphite gen --dataset twitter --scale 0.5 --out graph.tg
+//   graphite stats graph.tg
+//   graphite run --alg sssp --platform icm --source 3 graph.tg
+//   graphite run --alg wcc --platform msb --workers 8 graph.tg
+//   graphite slice --from 2 --to 8 graph.tg --out window.tg
+//   graphite bench --alg sssp graph.tg          (ICM vs all baselines)
+//
+// Exit status: 0 on success, 1 on usage/user error.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/runners.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "io/text_format.h"
+#include "query/temporal_query.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace graphite;  // Tool code; the library never does this.
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string Flag(const std::string& name, const std::string& def = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? def : it->second;
+  }
+  int64_t IntFlag(const std::string& name, int64_t def) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? def : std::atoll(it->second.c_str());
+  }
+  double DoubleFlag(const std::string& name, double def) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? def : std::atof(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: graphite <command> [flags] [graph-file]\n"
+      "commands:\n"
+      "  gen    --dataset <gplus|reddit|usrn|twitter|mag|webuk>\n"
+      "         [--scale S] --out FILE          generate a catalog analog\n"
+      "  stats  FILE                            Table-1 style statistics\n"
+      "  run    --alg A --platform P FILE       run one algorithm\n"
+      "         [--source V] [--target V] [--workers N] [--deadline T]\n"
+      "         A: bfs wcc scc pr sssp eat fast ld tmst rh lcc tc\n"
+      "         P: icm msb chl tgb gof\n"
+      "  bench  --alg A FILE [--workers N]       ICM vs every baseline\n"
+      "  slice  --from T --to T FILE --out FILE  temporal time-slice\n");
+  return 1;
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  for (Algorithm a : kAllAlgorithms) {
+    std::string lower;
+    for (const char* c = AlgorithmName(a); *c; ++c) {
+      lower.push_back(static_cast<char>(std::tolower(*c)));
+    }
+    if (lower == name) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+Result<Platform> ParsePlatform(const std::string& name) {
+  for (Platform p : {Platform::kIcm, Platform::kMsb, Platform::kChl,
+                     Platform::kTgb, Platform::kGof}) {
+    std::string lower;
+    for (const char* c = PlatformName(p); *c; ++c) {
+      lower.push_back(static_cast<char>(std::tolower(*c)));
+    }
+    if (lower == name) return p;
+  }
+  return Status::InvalidArgument("unknown platform: " + name);
+}
+
+int CmdGen(const Args& args) {
+  const std::string dataset = args.Flag("dataset");
+  const std::string out = args.Flag("out");
+  if (dataset.empty() || out.empty()) return Usage();
+  const DatasetSpec spec =
+      DatasetByName(dataset, args.DoubleFlag("scale", 1.0));
+  const TemporalGraph g = Generate(spec.options);
+  const Status s = WriteTextGraphFile(g, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: wrote %s (%zu vertices, %zu edges, %lld snapshots)\n",
+              spec.name.c_str(), out.c_str(), g.num_vertices(), g.num_edges(),
+              static_cast<long long>(g.horizon()));
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto g = ReadTextGraphFile(args.positional[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const GraphStats s = ComputeGraphStats(*g);
+  std::printf("snapshots            %lld\n",
+              static_cast<long long>(s.num_snapshots));
+  std::printf("interval graph       %s V, %s E\n",
+              FormatCount(static_cast<int64_t>(s.interval_v)).c_str(),
+              FormatCount(static_cast<int64_t>(s.interval_e)).c_str());
+  std::printf("largest snapshot     %s V, %s E\n",
+              FormatCount(static_cast<int64_t>(s.largest_snapshot_v)).c_str(),
+              FormatCount(static_cast<int64_t>(s.largest_snapshot_e)).c_str());
+  std::printf("transformed graph    %s V, %s E\n",
+              FormatCount(static_cast<int64_t>(s.transformed_v)).c_str(),
+              FormatCount(static_cast<int64_t>(s.transformed_e)).c_str());
+  std::printf("multi-snapshot       %s V, %s E\n",
+              FormatCount(static_cast<int64_t>(s.multi_snapshot_v)).c_str(),
+              FormatCount(static_cast<int64_t>(s.multi_snapshot_e)).c_str());
+  std::printf("avg lifespans        V %.2f, E %.2f, prop %.2f\n",
+              s.avg_vertex_lifespan, s.avg_edge_lifespan,
+              s.avg_prop_lifespan);
+  return 0;
+}
+
+RunConfig ConfigFrom(const Args& args) {
+  RunConfig config;
+  config.num_workers = static_cast<int>(args.IntFlag("workers", 4));
+  config.source = args.IntFlag("source", 0);
+  config.target = args.IntFlag("target", -1);
+  config.deadline = args.IntFlag("deadline", -1);
+  return config;
+}
+
+int CmdRun(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto alg = ParseAlgorithm(args.Flag("alg"));
+  auto platform = ParsePlatform(args.Flag("platform", "icm"));
+  if (!alg.ok() || !platform.ok()) {
+    std::fprintf(stderr, "error: %s%s\n", alg.status().message().c_str(),
+                 platform.status().message().c_str());
+    return 1;
+  }
+  if (!Supports(*platform, *alg)) {
+    std::fprintf(stderr,
+                 "error: %s does not support %s (TI: icm/msb/chl; TD: "
+                 "icm/tgb/gof)\n",
+                 PlatformName(*platform), AlgorithmName(*alg));
+    return 1;
+  }
+  auto g = ReadTextGraphFile(args.positional[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  Workload w(std::move(*g));
+  const RunMetrics m =
+      RunForMetrics(w, *platform, *alg, ConfigFrom(args));
+  std::printf("%s on %s: %s\n", AlgorithmName(*alg), PlatformName(*platform),
+              m.ToString().c_str());
+  return 0;
+}
+
+int CmdBench(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto alg = ParseAlgorithm(args.Flag("alg"));
+  if (!alg.ok()) {
+    std::fprintf(stderr, "error: %s\n", alg.status().ToString().c_str());
+    return 1;
+  }
+  auto g = ReadTextGraphFile(args.positional[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  Workload w(std::move(*g));
+  const RunConfig config = ConfigFrom(args);
+  TextTable table;
+  table.AddRow({"Platform", "Makespan-ms", "Compute-calls", "Messages",
+                "Supersteps"});
+  for (Platform p : {Platform::kIcm, Platform::kMsb, Platform::kChl,
+                     Platform::kTgb, Platform::kGof}) {
+    if (!Supports(p, *alg)) continue;
+    const RunMetrics m = RunForMetrics(w, p, *alg, config);
+    table.AddRow({PlatformName(p),
+                  FormatDouble(static_cast<double>(m.makespan_ns) / 1e6, 1),
+                  FormatCount(m.compute_calls), FormatCount(m.messages),
+                  std::to_string(m.supersteps)});
+  }
+  std::printf("%s on %s:\n%s", AlgorithmName(*alg),
+              args.positional[0].c_str(), table.ToString().c_str());
+  return 0;
+}
+
+int CmdSlice(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string out = args.Flag("out");
+  if (out.empty()) return Usage();
+  auto g = ReadTextGraphFile(args.positional[0]);
+  if (!g.ok()) {
+    std::fprintf(stderr, "error: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const Interval window(args.IntFlag("from", 0),
+                        args.IntFlag("to", g->horizon()));
+  if (!window.IsValid()) {
+    std::fprintf(stderr, "error: empty window %s\n",
+                 window.ToString().c_str());
+    return 1;
+  }
+  const TemporalGraph sliced = TimeSlice(*g, window);
+  const Status s = WriteTextGraphFile(sliced, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("sliced %s to %s: %zu vertices, %zu edges\n",
+              window.ToString().c_str(), out.c_str(), sliced.num_vertices(),
+              sliced.num_edges());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      const std::string name = argv[i] + 2;
+      if (i + 1 >= argc) return Usage();
+      args.flags[name] = argv[++i];
+    } else {
+      args.positional.push_back(argv[i]);
+    }
+  }
+  if (args.command == "gen") return CmdGen(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "bench") return CmdBench(args);
+  if (args.command == "slice") return CmdSlice(args);
+  return Usage();
+}
