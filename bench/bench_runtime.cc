@@ -1,0 +1,186 @@
+// Runtime-scheduling benchmark: sequential vs per-superstep thread spawn
+// (the pre-pool baseline) vs persistent pool vs chunked work stealing, on
+// the Table-1 dataset generators plus a deliberately skewed power-law
+// partition (range partition puts the preferential-attachment hubs on
+// worker 0, the worst case static assignment that stealing exists to fix).
+//
+// Prints a table to stdout and writes machine-readable results to
+// BENCH_runtime.json (override with argv[2]). All modes are exact-result
+// equivalent (see tests/runtime_determinism_test.cc), so wall makespan is
+// the only axis. Speedups are host-dependent: on a single-core container
+// every threaded mode degenerates to sequential-plus-overhead, which the
+// JSON records honestly via hardware_concurrency.
+#include <fstream>
+#include <thread>
+
+#include "algorithms/icm_ti.h"
+#include "bench_common.h"
+
+namespace graphite {
+namespace {
+
+struct Mode {
+  const char* name;
+  bool use_threads;
+  Scheduling scheduling;
+};
+
+const Mode kModes[] = {
+    {"sequential", false, Scheduling::kStealing},
+    {"spawn", true, Scheduling::kSpawn},
+    {"pool", true, Scheduling::kPool},
+    {"stealing", true, Scheduling::kStealing},
+};
+
+struct Sample {
+  double wall_ms = 0;
+  int64_t steals = 0;
+};
+
+// Best-of-3 wall time; steals from the fastest run.
+template <typename Fn>
+Sample Measure(const Fn& run) {
+  Sample best;
+  for (int rep = 0; rep < 3; ++rep) {
+    const RunMetrics m = run();
+    const double ms = bench::Ms(m.makespan_ns);
+    if (rep == 0 || ms < best.wall_ms) best = {ms, m.steals};
+  }
+  return best;
+}
+
+std::string JsonModes(const Sample samples[]) {
+  std::string out = "{";
+  for (size_t i = 0; i < std::size(kModes); ++i) {
+    if (i) out += ", ";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\": {\"wall_ms\": %.3f, \"steals\": %lld}",
+                  kModes[i].name, samples[i].wall_ms,
+                  static_cast<long long>(samples[i].steals));
+    out += buf;
+  }
+  return out + "}";
+}
+
+}  // namespace
+}  // namespace graphite
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  const double scale = bench::ResolveScale(argc, argv, 1.0);
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_runtime.json";
+  const int threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  const int workers = 8;
+
+  std::printf("Runtime scheduling bench: %d logical workers, %d OS threads "
+              "(hardware), best of 3\n\n",
+              workers, threads);
+  std::string json = "{\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(threads) + ",\n";
+  json += "  \"num_workers\": " + std::to_string(workers) + ",\n";
+  json += "  \"note\": \"threaded modes need >1 core to beat sequential; "
+          "acceptance speedup target assumes an 8-core host\",\n";
+
+  // --- Part 1: Table-1 generators, PR (always-active, compute-heavy). ---
+  TextTable table;
+  table.AddRow({"Graph", "seq-ms", "spawn-ms", "pool-ms", "steal-ms",
+                "steals", "steal/spawn"});
+  json += "  \"table1_pr\": [\n";
+  std::vector<bench::BenchDataset> datasets = bench::LoadCatalog(scale);
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    bench::BenchDataset& ds = datasets[d];
+    RunConfig config;
+    config.num_workers = workers;
+    config.source = bench::HubVertex(ds.workload.graph());
+    Sample samples[std::size(kModes)];
+    for (size_t i = 0; i < std::size(kModes); ++i) {
+      config.use_threads = kModes[i].use_threads;
+      config.runtime.scheduling = kModes[i].scheduling;
+      config.runtime.num_threads = threads;
+      samples[i] = Measure([&] {
+        return RunForMetrics(ds.workload, Platform::kIcm, Algorithm::kPr,
+                             config);
+      });
+    }
+    table.AddRow({ds.name, FormatDouble(samples[0].wall_ms, 1),
+                  FormatDouble(samples[1].wall_ms, 1),
+                  FormatDouble(samples[2].wall_ms, 1),
+                  FormatDouble(samples[3].wall_ms, 1),
+                  std::to_string(samples[3].steals),
+                  FormatDouble(samples[1].wall_ms /
+                                   std::max(1e-9, samples[3].wall_ms),
+                               2)});
+    json += "    {\"graph\": \"" + ds.name + "\", \"modes\": " +
+            JsonModes(samples) + "}";
+    json += (d + 1 < datasets.size()) ? ",\n" : "\n";
+    ds.workload.DropDerived();
+  }
+  datasets.clear();
+  json += "  ],\n";
+  std::printf("Table-1 generators, PageRank on ICM:\n%s\n",
+              table.ToString().c_str());
+
+  // --- Part 2: skewed power-law partition (the stealing showcase). ---
+  // Range partition w = v*W/n: preferential attachment makes low-index
+  // vertices the hubs, so worker 0 owns nearly all the compute.
+  GenOptions gen;
+  gen.seed = 99;
+  gen.num_vertices = static_cast<int64_t>(20000 * scale);
+  gen.num_edges = static_cast<int64_t>(120000 * scale);
+  gen.topology = GenOptions::Topology::kPowerLaw;
+  gen.zipf_alpha = 1.0;
+  gen.edge_lifespan = GenOptions::Lifespan::kLong;
+  std::fprintf(stderr, "[gen] skewed power-law ...\n");
+  const TemporalGraph g = Generate(gen);
+  std::vector<int> partition(g.num_vertices());
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    partition[v] = static_cast<int>(
+        static_cast<int64_t>(v) * workers / g.num_vertices());
+  }
+  Sample samples[std::size(kModes)];
+  for (size_t i = 0; i < std::size(kModes); ++i) {
+    IcmOptions options;
+    options.num_workers = workers;
+    options.use_threads = kModes[i].use_threads;
+    options.runtime.scheduling = kModes[i].scheduling;
+    options.runtime.num_threads = threads;
+    options.custom_partition = &partition;
+    samples[i] = Measure([&] {
+      IcmPageRank program(g);
+      return IcmEngine<IcmPageRank>::Run(g, program, PageRankOptions(options))
+          .metrics;
+    });
+  }
+  TextTable skew;
+  skew.AddRow({"Mode", "wall-ms", "steals"});
+  for (size_t i = 0; i < std::size(kModes); ++i) {
+    skew.AddRow({kModes[i].name, FormatDouble(samples[i].wall_ms, 1),
+                 std::to_string(samples[i].steals)});
+  }
+  const double speedup =
+      samples[1].wall_ms / std::max(1e-9, samples[3].wall_ms);
+  std::printf("Skewed power-law (hubs on worker 0), PageRank:\n%s\n",
+              skew.ToString().c_str());
+  std::printf("Stealing vs per-superstep spawn: %.2fx "
+              "(target >=2x on an 8-core host)\n",
+              speedup);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  \"skewed_powerlaw_pr\": {\"modes\": %s, "
+                "\"speedup_stealing_vs_spawn\": %.2f}\n",
+                JsonModes(samples).c_str(), speedup);
+  json += buf;
+  json += "}\n";
+
+  std::ofstream out(json_path);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(stderr, "[json] wrote %s\n", json_path);
+  return 0;
+}

@@ -48,6 +48,8 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 struct RunConfig {
   int num_workers = 4;
   bool use_threads = false;
+  /// OS-thread scheduling for all platforms (engine/parallel.h).
+  RuntimeOptions runtime;
   VertexId source = 0;
   /// LD deadline; -1 = graph horizon.
   TimePoint deadline = -1;
@@ -62,6 +64,7 @@ struct RunConfig {
     IcmOptions o;
     o.num_workers = num_workers;
     o.use_threads = use_threads;
+    o.runtime = runtime;
     o.enable_combiner = icm_combiner;
     o.enable_suppression = icm_suppression;
     o.suppression_threshold = icm_suppression_threshold;
@@ -71,12 +74,14 @@ struct RunConfig {
     VcmOptions o;
     o.num_workers = num_workers;
     o.use_threads = use_threads;
+    o.runtime = runtime;
     return o;
   }
   ChlonosOptions ToChlonos() const {
     ChlonosOptions o;
     o.num_workers = num_workers;
     o.use_threads = use_threads;
+    o.runtime = runtime;
     o.batch_size = chlonos_batch_size;
     return o;
   }
@@ -84,6 +89,7 @@ struct RunConfig {
     GoffishOptions o;
     o.num_workers = num_workers;
     o.use_threads = use_threads;
+    o.runtime = runtime;
     return o;
   }
 };

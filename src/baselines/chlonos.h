@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <limits>
 #include <span>
 #include <vector>
@@ -25,6 +26,8 @@ namespace graphite {
 struct ChlonosOptions {
   int num_workers = 4;
   bool use_threads = false;
+  /// OS-thread scheduling when use_threads is set (engine/parallel.h).
+  RuntimeOptions runtime;
   /// Snapshots per in-memory batch (the paper sizes this by what fits in
   /// distributed memory; e.g. 6 snapshots per batch for Twitter).
   int batch_size = 8;
@@ -110,6 +113,9 @@ BaselineOutcome<typename Program::Value> RunChlonos(
     std::vector<Value> values(static_cast<size_t>(B) * n);
     std::vector<std::vector<Message>> inbox(static_cast<size_t>(B) * n);
     std::vector<uint8_t> has_mail(static_cast<size_t>(B) * n, 0);
+    // Units holding unconsumed mail; the barrier clears exactly these
+    // instead of scanning all B*n inboxes.
+    std::vector<size_t> mailed;
     for (int k = 0; k < B; ++k) {
       for (VertexIdx v = 0; v < n; ++v) {
         if (adapters[k].UnitExists(v)) {
@@ -118,38 +124,61 @@ BaselineOutcome<typename Program::Value> RunChlonos(
       }
     }
 
+    std::vector<size_t> worker_sizes(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      worker_sizes[w] = vertices_by_worker[w].size();
+    }
+    // Persistent pool + fixed chunk table for this batch; per-chunk
+    // outboxes merge in chunk order before the share-grouping sort, which
+    // orders messages by content, so results match sequential mode.
+    SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
+                        worker_sizes);
+    const int num_chunks = rt.num_chunks();
+    std::vector<std::vector<Pending>> outbox(num_chunks);
+    std::vector<int64_t> chunk_calls(num_chunks, 0);
+    std::vector<int64_t> chunk_ns(num_chunks, 0);
+
     for (int superstep = 0; superstep < options.max_supersteps; ++superstep) {
       SuperstepMetrics ss;
       ss.worker_compute_ns.assign(num_workers, 0);
       ss.worker_in_bytes.assign(num_workers, 0);
-      std::vector<std::vector<Pending>> outbox(num_workers);
-      std::vector<int64_t> calls(num_workers, 0);
+      ss.worker_compute_calls.assign(num_workers, 0);
+      std::fill(chunk_calls.begin(), chunk_calls.end(), int64_t{0});
 
-      RunWorkers(num_workers, options.use_threads, [&](int w) {
-        const int64_t t0 = NowNanos();
-        for (int k = 0; k < B; ++k) {
-          ChlonosContext<Message> ctx(superstep, b0 + k, &outbox[w]);
-          for (VertexIdx v : vertices_by_worker[w]) {
-            if (!adapters[k].UnitExists(v)) continue;
-            const size_t idx = unit(k, v);
-            const bool active =
-                superstep == 0 || options.always_active || has_mail[idx];
-            if (!active) continue;
-            programs[k].Compute(ctx, v, values[idx],
-                                std::span<const Message>(inbox[idx]));
-            ++calls[w];
-          }
-        }
-        ss.worker_compute_ns[w] = NowNanos() - t0;
-      });
-      ss.worker_compute_calls = calls;
-      for (int w = 0; w < num_workers; ++w) ss.compute_calls += calls[w];
+      ss.steals = rt.ComputePhase(
+          &ss.thread_compute_ns, [&](int c, const WorkChunk& chunk, int) {
+            const int64_t t0 = NowNanos();
+            const std::vector<VertexIdx>& mine =
+                vertices_by_worker[chunk.worker];
+            for (int k = 0; k < B; ++k) {
+              ChlonosContext<Message> ctx(superstep, b0 + k, &outbox[c]);
+              for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                const VertexIdx v = mine[i];
+                if (!adapters[k].UnitExists(v)) continue;
+                const size_t idx = unit(k, v);
+                const bool active =
+                    superstep == 0 || options.always_active || has_mail[idx];
+                if (!active) continue;
+                programs[k].Compute(ctx, v, values[idx],
+                                    std::span<const Message>(inbox[idx]));
+                ++chunk_calls[c];
+              }
+            }
+            chunk_ns[c] = NowNanos() - t0;
+          });
+      for (int c = 0; c < num_chunks; ++c) {
+        const int w = rt.chunk(c).worker;
+        ss.worker_compute_ns[w] += chunk_ns[c];
+        ss.worker_compute_calls[w] += chunk_calls[c];
+        ss.compute_calls += chunk_calls[c];
+      }
 
       const int64_t barrier_t = NowNanos();
-      for (size_t idx = 0; idx < inbox.size(); ++idx) {
-        if (has_mail[idx]) inbox[idx].clear();
+      for (const size_t idx : mailed) {
+        inbox[idx].clear();
         has_mail[idx] = 0;
       }
+      mailed.clear();
       ss.barrier_ns = NowNanos() - barrier_t;
 
       // Messaging with Chronos-style sharing: a run of identical payloads
@@ -157,8 +186,21 @@ BaselineOutcome<typename Program::Value> RunChlonos(
       // message on the wire.
       const int64_t msg_t = NowNanos();
       bool any_message = false;
+      std::vector<Pending> pending;
       for (int src_w = 0; src_w < num_workers; ++src_w) {
-        auto& pending = outbox[src_w];
+        const auto [c0, c1] = rt.ChunkRange(src_w);
+        if (c1 - c0 == 1) {
+          pending = std::move(outbox[c0]);
+          outbox[c0] = {};
+        } else {
+          pending.clear();
+          for (int c = c0; c < c1; ++c) {
+            pending.insert(pending.end(),
+                           std::make_move_iterator(outbox[c].begin()),
+                           std::make_move_iterator(outbox[c].end()));
+            outbox[c].clear();
+          }
+        }
         if (pending.empty()) continue;
         // Serialize payloads once into a shared arena (offset/length
         // slices) so the share-grouping sorts without per-message
@@ -222,7 +264,10 @@ BaselineOutcome<typename Program::Value> RunChlonos(
           for (TimePoint t = head.t; t < t_end; ++t) {
             const size_t idx = unit(static_cast<int>(t - b0), head.dst);
             inbox[idx].push_back(head.payload);
-            has_mail[idx] = 1;
+            if (!has_mail[idx]) {
+              has_mail[idx] = 1;
+              mailed.push_back(idx);
+            }
           }
           any_message = true;
           i = j;

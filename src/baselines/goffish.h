@@ -8,6 +8,7 @@
 #ifndef GRAPHITE_BASELINES_GOFFISH_H_
 #define GRAPHITE_BASELINES_GOFFISH_H_
 
+#include <algorithm>
 #include <span>
 #include <utility>
 #include <vector>
@@ -25,6 +26,8 @@ namespace graphite {
 struct GoffishOptions {
   int num_workers = 4;
   bool use_threads = false;
+  /// OS-thread scheduling when use_threads is set (engine/parallel.h).
+  RuntimeOptions runtime;
   /// Process snapshots from horizon-1 down to 0 (LD's reverse traversal).
   bool reverse_time = false;
 };
@@ -100,16 +103,40 @@ BaselineOutcome<typename Program::Value> RunGoffish(
   out.result.resize(n);
   const int64_t run_start = NowNanos();
 
-  // Inboxes are reused across snapshots (cleared via the mail flags) so
+  // Inboxes are reused across snapshots (cleared via the mailed list) so
   // the per-snapshot fixed cost stays proportional to actual traffic.
   std::vector<std::vector<Message>> inbox(n);
   std::vector<uint8_t> has_mail(n, 0);
-  auto clear_mail = [&] {
-    for (VertexIdx v = 0; v < n; ++v) {
-      if (has_mail[v]) inbox[v].clear();
-      has_mail[v] = 0;
+  // Vertices holding unconsumed mail; the barrier clears exactly these
+  // inboxes instead of scanning all n.
+  std::vector<VertexIdx> mailed;
+  auto deliver_mail = [&](VertexIdx v) {
+    if (!has_mail[v]) {
+      has_mail[v] = 1;
+      mailed.push_back(v);
     }
   };
+  auto clear_mail = [&] {
+    for (const VertexIdx v : mailed) {
+      inbox[v].clear();
+      has_mail[v] = 0;
+    }
+    mailed.clear();
+  };
+
+  std::vector<size_t> worker_sizes(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    worker_sizes[w] = vertices_by_worker[w].size();
+  }
+  // Persistent pool + fixed chunk table, shared by every snapshot's inner
+  // loop. Outboxes are per chunk: concatenating them in chunk order equals
+  // sequential mode's per-worker outbox order exactly.
+  SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
+                      worker_sizes);
+  const int num_chunks = rt.num_chunks();
+  std::vector<std::vector<Pending>> outbox(num_chunks);
+  std::vector<int64_t> chunk_calls(num_chunks, 0);
+  std::vector<int64_t> chunk_ns(num_chunks, 0);
 
   for (TimePoint step = 0; step < T; ++step) {
     const TimePoint t = options.reverse_time ? T - 1 - step : step;
@@ -118,7 +145,7 @@ BaselineOutcome<typename Program::Value> RunGoffish(
     clear_mail();
     for (auto& [v, m] : temporal[static_cast<size_t>(t)]) {
       inbox[v].push_back(std::move(m));
-      has_mail[v] = 1;
+      deliver_mail(v);
     }
     temporal[static_cast<size_t>(t)].clear();
 
@@ -127,58 +154,69 @@ BaselineOutcome<typename Program::Value> RunGoffish(
       SuperstepMetrics ss;
       ss.worker_compute_ns.assign(num_workers, 0);
       ss.worker_in_bytes.assign(num_workers, 0);
-      std::vector<std::vector<Pending>> outbox(num_workers);
-      std::vector<int64_t> calls(num_workers, 0);
+      ss.worker_compute_calls.assign(num_workers, 0);
+      std::fill(chunk_calls.begin(), chunk_calls.end(), int64_t{0});
 
-      RunWorkers(num_workers, options.use_threads, [&](int w) {
-        const int64_t t0 = NowNanos();
-        GofContext<Message> ctx(inner, t, &outbox[w]);
-        for (VertexIdx v : vertices_by_worker[w]) {
-          if (!view.VertexActive(v)) continue;
-          const bool active =
-              has_mail[v] ||
-              (inner == 0 && program.InitialActive(v, t, view));
-          if (!active) continue;
-          program.Compute(ctx, v, values[v],
-                          std::span<const Message>(inbox[v]), view);
-          ++calls[w];
-        }
-        ss.worker_compute_ns[w] = NowNanos() - t0;
-      });
-      ss.worker_compute_calls = calls;
-      for (int w = 0; w < num_workers; ++w) ss.compute_calls += calls[w];
+      ss.steals = rt.ComputePhase(
+          &ss.thread_compute_ns, [&](int c, const WorkChunk& chunk, int) {
+            const int64_t t0 = NowNanos();
+            GofContext<Message> ctx(inner, t, &outbox[c]);
+            const std::vector<VertexIdx>& mine =
+                vertices_by_worker[chunk.worker];
+            for (size_t i = chunk.begin; i < chunk.end; ++i) {
+              const VertexIdx v = mine[i];
+              if (!view.VertexActive(v)) continue;
+              const bool active =
+                  has_mail[v] ||
+                  (inner == 0 && program.InitialActive(v, t, view));
+              if (!active) continue;
+              program.Compute(ctx, v, values[v],
+                              std::span<const Message>(inbox[v]), view);
+              ++chunk_calls[c];
+            }
+            chunk_ns[c] = NowNanos() - t0;
+          });
+      for (int c = 0; c < num_chunks; ++c) {
+        const int w = rt.chunk(c).worker;
+        ss.worker_compute_ns[w] += chunk_ns[c];
+        ss.worker_compute_calls[w] += chunk_calls[c];
+        ss.compute_calls += chunk_calls[c];
+      }
 
       const int64_t barrier_t = NowNanos();
-      for (VertexIdx v = 0; v < n; ++v) {
-        if (has_mail[v]) inbox[v].clear();
-        has_mail[v] = 0;
-      }
+      clear_mail();
       ss.barrier_ns = NowNanos() - barrier_t;
 
       // Route: serialize everything (bytes metric), deliver same-snapshot
       // messages to the next inner superstep, queue the rest temporally.
+      // Chunk outboxes are walked in chunk order, which is the sequential
+      // per-worker order.
       const int64_t msg_t = NowNanos();
       bool any_intra = false;
       for (int src_w = 0; src_w < num_workers; ++src_w) {
-        for (const Pending& p : outbox[src_w]) {
-          Writer wm;
-          wm.WriteU64(p.dst);
-          wm.WriteI64(p.t);
-          MessageTraits<Message>::Write(wm, p.payload);
-          ss.messages += 1;
-          ss.message_bytes += static_cast<int64_t>(wm.size());
-          const int dst_w = worker_of[p.dst];
-          if (dst_w != src_w) {
-            ss.worker_in_bytes[dst_w] += static_cast<int64_t>(wm.size());
+        const auto [c0, c1] = rt.ChunkRange(src_w);
+        for (int c = c0; c < c1; ++c) {
+          for (const Pending& p : outbox[c]) {
+            Writer wm;
+            wm.WriteU64(p.dst);
+            wm.WriteI64(p.t);
+            MessageTraits<Message>::Write(wm, p.payload);
+            ss.messages += 1;
+            ss.message_bytes += static_cast<int64_t>(wm.size());
+            const int dst_w = worker_of[p.dst];
+            if (dst_w != src_w) {
+              ss.worker_in_bytes[dst_w] += static_cast<int64_t>(wm.size());
+            }
+            if (p.t == t) {
+              inbox[p.dst].push_back(p.payload);
+              deliver_mail(p.dst);
+              any_intra = true;
+            } else if (p.t >= 0 && p.t < T) {
+              temporal[static_cast<size_t>(p.t)].emplace_back(p.dst, p.payload);
+            }
+            // Else: addressed beyond the horizon; counted, undeliverable.
           }
-          if (p.t == t) {
-            inbox[p.dst].push_back(p.payload);
-            has_mail[p.dst] = 1;
-            any_intra = true;
-          } else if (p.t >= 0 && p.t < T) {
-            temporal[static_cast<size_t>(p.t)].emplace_back(p.dst, p.payload);
-          }
-          // Else: addressed beyond the horizon; counted, undeliverable.
+          outbox[c].clear();
         }
       }
       ss.messaging_ns = NowNanos() - msg_t;

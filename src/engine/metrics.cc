@@ -12,6 +12,7 @@ void RunMetrics::Accumulate(const SuperstepMetrics& ss) {
   scatter_calls += ss.scatter_calls;
   messages += ss.messages;
   message_bytes += ss.message_bytes;
+  steals += ss.steals;
   for (int64_t ns : ss.worker_compute_ns) compute_ns += ns;
   messaging_ns += ss.messaging_ns;
   barrier_ns += ss.barrier_ns;
@@ -24,6 +25,7 @@ void RunMetrics::Merge(const RunMetrics& other) {
   scatter_calls += other.scatter_calls;
   messages += other.messages;
   message_bytes += other.message_bytes;
+  steals += other.steals;
   compute_ns += other.compute_ns;
   messaging_ns += other.messaging_ns;
   barrier_ns += other.barrier_ns;
@@ -72,6 +74,7 @@ std::string RunMetrics::ToString() const {
   out +=
       " messaging_ms=" + FormatDouble(static_cast<double>(messaging_ns) / 1e6);
   out += " makespan_ms=" + FormatDouble(static_cast<double>(makespan_ns) / 1e6);
+  if (steals > 0) out += " steals=" + FormatCount(steals);
   return out;
 }
 

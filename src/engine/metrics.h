@@ -18,6 +18,13 @@ struct SuperstepMetrics {
   std::vector<int64_t> worker_compute_ns;  ///< Compute-phase time per worker.
   std::vector<int64_t> worker_in_bytes;    ///< Bytes received per worker.
   std::vector<int64_t> worker_compute_calls;  ///< User-logic calls per worker.
+  /// OS-thread-level phase timings (lane 0 = the coordinating thread).
+  /// Logical-worker vectors above are routing/model metrics; these measure
+  /// the physical runtime (see SuperstepRuntime in engine/parallel.h).
+  std::vector<int64_t> thread_compute_ns;
+  std::vector<int64_t> thread_messaging_ns;
+  /// Chunks executed by a non-home OS thread (work-stealing mode only).
+  int64_t steals = 0;
   int64_t messaging_ns = 0;  ///< Exclusive message delivery time.
   int64_t barrier_ns = 0;    ///< Synchronization overhead.
   int64_t compute_calls = 0;
@@ -33,6 +40,7 @@ struct RunMetrics {
   int64_t scatter_calls = 0;
   int64_t messages = 0;
   int64_t message_bytes = 0;
+  int64_t steals = 0;        ///< Total stolen chunks (work-stealing mode).
   int64_t compute_ns = 0;    ///< Total compute+ time.
   int64_t messaging_ns = 0;  ///< Total exclusive messaging time.
   int64_t barrier_ns = 0;

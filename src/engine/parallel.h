@@ -1,15 +1,41 @@
-// Worker execution helper. The engines run one task per logical worker;
-// with use_threads the tasks run on real std::threads, otherwise they run
-// sequentially in worker order ("sequential-simulated" mode). Sequential
-// mode is the default: it is fully deterministic, per-worker timings are
-// not distorted by oversubscription of the host cores, and the simulated
-// makespan model (RunMetrics::SimulatedMakespanNs) supplies the
-// parallelism. Results are identical in both modes; tests check that.
+// Superstep execution runtime shared by all four engines (ICM, VCM,
+// Chlonos, GoFFish). Two layers:
+//
+//   RunWorkers       — the legacy helper: one task per logical worker, on
+//                      per-superstep-spawned std::threads (kSpawn) or
+//                      sequentially. Kept as the measured baseline for
+//                      bench_runtime and for the kSpawn scheduling mode.
+//   SuperstepRuntime — the real runtime: a persistent ThreadPool created
+//                      once per Run() and reused across supersteps, with
+//                      chunked work-stealing over each logical worker's
+//                      item list, plus a generic ParallelFor used to
+//                      deserialize per-destination wire columns
+//                      concurrently in the messaging phase.
+//
+// Logical workers stay fixed no matter how many OS threads run: message
+// routing (worker_of), per-worker metrics and wire-byte accounting are all
+// keyed by logical worker. OS threads only steal *chunks* of a logical
+// worker's vertex list via per-worker atomic cursors, and every chunk
+// writes into its own output slot (wire-buffer row / outbox). Because
+// chunks split each worker's list contiguously and in order, concatenating
+// the chunk outputs in chunk order reproduces the sequential per-worker
+// buffers byte for byte — results are identical across all modes; tests
+// enforce this (runtime_determinism_test).
 #ifndef GRAPHITE_ENGINE_PARALLEL_H_
 #define GRAPHITE_ENGINE_PARALLEL_H_
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "engine/thread_pool.h"
+#include "util/status.h"
+#include "util/timer.h"
 
 namespace graphite {
 
@@ -27,6 +53,178 @@ void RunWorkers(int num_workers, bool use_threads, Fn&& fn) {
   }
   for (std::thread& t : threads) t.join();
 }
+
+/// How OS threads are mapped onto logical-worker item lists when
+/// use_threads is set (ignored in sequential mode).
+enum class Scheduling {
+  /// Legacy baseline: one std::thread per logical worker, spawned and
+  /// joined every superstep; messaging stays single-threaded.
+  kSpawn,
+  /// Persistent pool, static worker->thread assignment (worker w runs on
+  /// thread w % num_threads). No stealing: a skewed partition serializes
+  /// its thread, but there is no cursor traffic.
+  kPool,
+  /// Persistent pool + chunked work stealing (default): threads drain
+  /// their home workers' chunk cursors first, then steal remaining chunks
+  /// from other workers.
+  kStealing,
+};
+
+/// Runtime knobs shared by every engine's options struct.
+struct RuntimeOptions {
+  Scheduling scheduling = Scheduling::kStealing;
+  /// OS threads used by kPool/kStealing; 0 = min(num_workers,
+  /// hardware_concurrency). May exceed the logical worker count — extra
+  /// threads have no home workers and go straight to stealing.
+  int num_threads = 0;
+  /// Work-stealing granularity: items (vertices/units) per chunk.
+  int chunk_size = 64;
+};
+
+/// A contiguous slice [begin, end) of logical worker `worker`'s item list.
+struct WorkChunk {
+  int worker;
+  size_t begin;
+  size_t end;
+};
+
+class SuperstepRuntime {
+ public:
+  /// `worker_sizes[w]` is the item count of logical worker w. The chunk
+  /// table is fixed for the lifetime of the runtime (item lists are static
+  /// across supersteps), so per-chunk output slots can be allocated once
+  /// and reused.
+  SuperstepRuntime(int num_workers, bool use_threads,
+                   const RuntimeOptions& options,
+                   const std::vector<size_t>& worker_sizes)
+      : num_workers_(num_workers), scheduling_(options.scheduling) {
+    GRAPHITE_CHECK(static_cast<int>(worker_sizes.size()) == num_workers);
+    spawn_ = use_threads && scheduling_ == Scheduling::kSpawn;
+    const bool pooled = use_threads && !spawn_;
+    if (pooled) {
+      const int hw = static_cast<int>(std::thread::hardware_concurrency());
+      num_threads_ = options.num_threads > 0
+                         ? options.num_threads
+                         : std::max(1, std::min(num_workers, hw));
+    } else {
+      num_threads_ = spawn_ ? num_workers : 1;
+    }
+    const size_t chunk_items =
+        (pooled && scheduling_ == Scheduling::kStealing)
+            ? static_cast<size_t>(std::max(1, options.chunk_size))
+            : std::numeric_limits<size_t>::max();
+    first_.resize(num_workers + 1, 0);
+    for (int w = 0; w < num_workers; ++w) {
+      first_[w] = static_cast<int>(chunks_.size());
+      for (size_t b = 0; b < worker_sizes[w];) {
+        const size_t len = std::min(chunk_items, worker_sizes[w] - b);
+        chunks_.push_back({w, b, b + len});
+        b += len;
+      }
+    }
+    first_[num_workers] = static_cast<int>(chunks_.size());
+    if (pooled && num_threads_ > 1) {
+      pool_ = std::make_unique<ThreadPool>(num_threads_);
+    }
+  }
+
+  int num_workers() const { return num_workers_; }
+  /// Execution lanes: 1 (sequential), num_workers (spawn) or the pool
+  /// width. Sizes per-thread scratch and timing vectors.
+  int num_threads() const { return num_threads_; }
+  int num_chunks() const { return static_cast<int>(chunks_.size()); }
+  const WorkChunk& chunk(int c) const { return chunks_[c]; }
+  /// Chunk-index range [first, second) of logical worker w; chunks are
+  /// contiguous per worker and ordered by item position.
+  std::pair<int, int> ChunkRange(int w) const {
+    return {first_[w], first_[w + 1]};
+  }
+
+  /// Compute phase: runs body(chunk_index, chunk, thread_id) for every
+  /// chunk. Per-thread phase durations go to *thread_ns (resized to
+  /// num_threads()); returns the number of stolen chunks (chunks executed
+  /// by a thread other than their worker's home thread).
+  template <typename Body>
+  int64_t ComputePhase(std::vector<int64_t>* thread_ns, Body&& body) {
+    thread_ns->assign(num_threads_, 0);
+    if (pool_ == nullptr) {
+      if (spawn_) {
+        RunWorkers(num_workers_, true, [&](int w) {
+          const int64_t t0 = NowNanos();
+          for (int c = first_[w]; c < first_[w + 1]; ++c) {
+            body(c, chunks_[c], w);
+          }
+          (*thread_ns)[w] = NowNanos() - t0;
+        });
+      } else {
+        const int64_t t0 = NowNanos();
+        for (int c = 0; c < num_chunks(); ++c) body(c, chunks_[c], 0);
+        (*thread_ns)[0] = NowNanos() - t0;
+      }
+      return 0;
+    }
+    std::vector<std::atomic<size_t>> cursor(num_workers_);
+    std::atomic<int64_t> steals{0};
+    const bool steal = scheduling_ == Scheduling::kStealing;
+    pool_->RunOnAll([&](int t) {
+      const int64_t t0 = NowNanos();
+      auto drain = [&](int w, bool stolen) {
+        const int base = first_[w];
+        const size_t count = static_cast<size_t>(first_[w + 1] - base);
+        for (;;) {
+          const size_t k = cursor[w].fetch_add(1, std::memory_order_relaxed);
+          if (k >= count) break;
+          const int c = base + static_cast<int>(k);
+          body(c, chunks_[c], t);
+          if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      };
+      for (int w = t; w < num_workers_; w += num_threads_) drain(w, false);
+      if (steal) {
+        for (int off = 1; off <= num_workers_; ++off) {
+          drain((t + off) % num_workers_, true);
+        }
+      }
+      (*thread_ns)[t] = NowNanos() - t0;
+    });
+    return steals.load();
+  }
+
+  /// Runs body(i, thread_id) for i in [0, count) across the pool (atomic
+  /// cursor; sequential without one — including kSpawn, whose baseline
+  /// semantics keep messaging single-threaded). Used by the messaging
+  /// phase: i is a destination worker, and destination columns touch
+  /// disjoint inboxes, so the deliveries are data-race free.
+  template <typename Body>
+  void ParallelFor(int count, std::vector<int64_t>* thread_ns, Body&& body) {
+    thread_ns->assign(num_threads_, 0);
+    if (pool_ == nullptr) {
+      const int64_t t0 = NowNanos();
+      for (int i = 0; i < count; ++i) body(i, 0);
+      (*thread_ns)[0] = NowNanos() - t0;
+      return;
+    }
+    std::atomic<int> next{0};
+    pool_->RunOnAll([&](int t) {
+      const int64_t t0 = NowNanos();
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        body(i, t);
+      }
+      (*thread_ns)[t] = NowNanos() - t0;
+    });
+  }
+
+ private:
+  int num_workers_;
+  Scheduling scheduling_;
+  bool spawn_ = false;
+  int num_threads_ = 1;
+  std::vector<WorkChunk> chunks_;
+  std::vector<int> first_;
+  std::unique_ptr<ThreadPool> pool_;
+};
 
 }  // namespace graphite
 

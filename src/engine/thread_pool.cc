@@ -1,0 +1,61 @@
+#include "engine/thread_pool.h"
+
+#include "util/status.h"
+
+namespace graphite {
+
+ThreadPool::ThreadPool(int num_threads) {
+  GRAPHITE_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& job) {
+  if (workers_.empty()) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++generation_;
+    pending_ = static_cast<int>(workers_.size());
+  }
+  work_cv_.notify_all();
+  job(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int thread_id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(thread_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace graphite

@@ -42,6 +42,7 @@
 #ifndef GRAPHITE_ICM_ICM_ENGINE_H_
 #define GRAPHITE_ICM_ICM_ENGINE_H_
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 #include <span>
@@ -63,6 +64,10 @@ namespace graphite {
 struct IcmOptions {
   int num_workers = 4;
   bool use_threads = false;
+  /// Scheduling of OS threads over logical workers when use_threads is
+  /// set: persistent pool with work stealing by default. Results are
+  /// byte-identical in every mode (see engine/parallel.h).
+  RuntimeOptions runtime;
   /// Run Compute on every vertex every superstep (fixed-iteration
   /// algorithms like PageRank); terminate at max_supersteps.
   bool always_active = false;
@@ -257,76 +262,121 @@ class IcmEngine {
       states[v] = IntervalMap<State>(g_.vertex_interval(v), program_.Init(v));
     }
 
+    std::vector<size_t> worker_sizes(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      worker_sizes[w] = vertices_by_worker[w].size();
+    }
+    // The pool (if any) lives here: created once, reused every superstep.
+    SuperstepRuntime rt(num_workers, options_.use_threads, options_.runtime,
+                        worker_sizes);
+    const int num_chunks = rt.num_chunks();
+
     std::vector<std::vector<Item>> inbox(n);
     std::vector<uint8_t> has_mail(n, 0);
-    std::vector<std::vector<Writer>> wire(num_workers);
+    // Vertices holding unconsumed mail, tracked per destination worker:
+    // the barrier clears exactly these inboxes (no O(n) scan), and each
+    // list is written only by its destination's delivery lane.
+    std::vector<std::vector<VertexIdx>> mailed(num_workers);
+    // Wire buffers, indexed [chunk][dst_worker]. Chunks split each logical
+    // worker's vertex list contiguously, so reading a destination column
+    // in (src worker, chunk) order yields exactly the bytes sequential
+    // mode produces. Buffers are reused across supersteps (Clear keeps
+    // capacity).
+    std::vector<std::vector<Writer>> wire(num_chunks);
     for (auto& row : wire) row.resize(num_workers);
+    // Per-OS-thread scratch and per-chunk counters/timings, hoisted out of
+    // the superstep loop.
+    std::vector<WorkerScratch> scratch(rt.num_threads());
+    std::vector<WorkerCounters> counters(num_chunks);
+    std::vector<int64_t> chunk_ns(num_chunks, 0);
+    std::vector<int64_t> col_bytes(num_workers, 0);
+    std::vector<uint8_t> col_any(num_workers, 0);
 
     const int64_t run_start = NowNanos();
     for (int superstep = 0; superstep < options_.max_supersteps; ++superstep) {
       SuperstepMetrics ss;
       ss.worker_compute_ns.assign(num_workers, 0);
       ss.worker_in_bytes.assign(num_workers, 0);
-      std::vector<WorkerCounters> counters(num_workers);
+      ss.worker_compute_calls.assign(num_workers, 0);
+      std::fill(counters.begin(), counters.end(), WorkerCounters{});
 
-      RunWorkers(num_workers, options_.use_threads, [&](int w) {
-        const int64_t t0 = NowNanos();
-        WorkerScratch scratch;
-        for (VertexIdx v : vertices_by_worker[w]) {
-          const bool active =
-              superstep == 0 || options_.always_active || has_mail[v];
-          if (!active) continue;
-          ProcessVertex(v, superstep, worker_of, inbox[v], &states[v],
-                        &wire[w], &counters[w], &scratch);
-          // (wire[w] is this worker's per-destination buffer row.)
-        }
-        ss.worker_compute_ns[w] = NowNanos() - t0;
-      });
-      ss.worker_compute_calls.resize(num_workers);
-      for (int w = 0; w < num_workers; ++w) {
-        ss.worker_compute_calls[w] = counters[w].compute_calls;
-      }
-      for (const WorkerCounters& c : counters) {
-        ss.compute_calls += c.compute_calls;
-        ss.scatter_calls += c.scatter_calls;
-        ss.messages += c.messages;
-        result.active_compute_calls += c.active_compute_calls;
-        result.suppressed_vertices += c.suppressed_vertices;
+      ss.steals = rt.ComputePhase(
+          &ss.thread_compute_ns,
+          [&](int c, const WorkChunk& chunk, int thread) {
+            const int64_t t0 = NowNanos();
+            const std::vector<VertexIdx>& mine =
+                vertices_by_worker[chunk.worker];
+            for (size_t i = chunk.begin; i < chunk.end; ++i) {
+              const VertexIdx v = mine[i];
+              const bool active =
+                  superstep == 0 || options_.always_active || has_mail[v];
+              if (!active) continue;
+              ProcessVertex(v, superstep, worker_of, inbox[v], &states[v],
+                            &wire[c], &counters[c], &scratch[thread]);
+              // (wire[c] is this chunk's per-destination buffer row.)
+            }
+            chunk_ns[c] = NowNanos() - t0;
+          });
+      for (int c = 0; c < num_chunks; ++c) {
+        const int w = rt.chunk(c).worker;
+        ss.worker_compute_ns[w] += chunk_ns[c];
+        ss.worker_compute_calls[w] += counters[c].compute_calls;
+        ss.compute_calls += counters[c].compute_calls;
+        ss.scatter_calls += counters[c].scatter_calls;
+        ss.messages += counters[c].messages;
+        result.active_compute_calls += counters[c].active_compute_calls;
+        result.suppressed_vertices += counters[c].suppressed_vertices;
       }
 
-      // Barrier: clear consumed inboxes.
+      // Barrier: clear only the inboxes that received mail last superstep.
       const int64_t barrier_t = NowNanos();
-      for (VertexIdx v = 0; v < n; ++v) {
-        if (has_mail[v]) inbox[v].clear();
-        has_mail[v] = 0;
+      for (int w = 0; w < num_workers; ++w) {
+        for (const VertexIdx v : mailed[w]) {
+          inbox[v].clear();
+          has_mail[v] = 0;
+        }
+        mailed[w].clear();
       }
       ss.barrier_ns = NowNanos() - barrier_t;
 
-      // Messaging phase: deliver wire buffers.
+      // Messaging phase: each destination worker deserializes its own wire
+      // column. Messages are routed by owner, so columns touch disjoint
+      // inboxes and the deliveries run concurrently on the pool.
       const int64_t msg_t = NowNanos();
-      bool any_message = false;
-      for (int dst = 0; dst < num_workers; ++dst) {
+      std::fill(col_bytes.begin(), col_bytes.end(), int64_t{0});
+      std::fill(col_any.begin(), col_any.end(), uint8_t{0});
+      rt.ParallelFor(num_workers, &ss.thread_messaging_ns, [&](int dst, int) {
         for (int src = 0; src < num_workers; ++src) {
-          Writer& buf = wire[src][dst];
-          if (buf.size() == 0) continue;
-          ss.message_bytes += static_cast<int64_t>(buf.size());
-          if (src != dst) {
-            ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
-          }
-          const std::string bytes = buf.Release();
-          buf = Writer();
-          Reader reader(bytes);
-          while (!reader.AtEnd()) {
-            const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
-            Interval iv = ReadInterval(reader);
-            Message msg = MessageTraits<Message>::Read(reader);
-            inbox[unit].push_back({iv, std::move(msg)});
-            has_mail[unit] = 1;
-            any_message = true;
+          const auto [c0, c1] = rt.ChunkRange(src);
+          for (int c = c0; c < c1; ++c) {
+            Writer& buf = wire[c][dst];
+            if (buf.size() == 0) continue;
+            col_bytes[dst] += static_cast<int64_t>(buf.size());
+            if (src != dst) {
+              ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
+            }
+            Reader reader(buf.buffer());
+            while (!reader.AtEnd()) {
+              const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
+              Interval iv = ReadInterval(reader);
+              Message msg = MessageTraits<Message>::Read(reader);
+              inbox[unit].push_back({iv, std::move(msg)});
+              if (!has_mail[unit]) {
+                has_mail[unit] = 1;
+                mailed[dst].push_back(unit);
+              }
+            }
+            col_any[dst] = 1;
+            buf.Clear();
           }
         }
-      }
+      });
       ss.messaging_ns = NowNanos() - msg_t;
+      bool any_message = false;
+      for (int dst = 0; dst < num_workers; ++dst) {
+        ss.message_bytes += col_bytes[dst];
+        if (col_any[dst]) any_message = true;
+      }
 
       result.metrics.Accumulate(ss);
       if (!any_message && !options_.always_active) break;

@@ -35,6 +35,10 @@ class Writer {
 
   const std::string& buffer() const { return buf_; }
   std::string Release() { return std::move(buf_); }
+  /// Empties the buffer but keeps its capacity — the engines drain and
+  /// refill wire buffers every superstep, so reuse beats Release() +
+  /// reconstruct (which reallocates from scratch each time).
+  void Clear() { buf_.clear(); }
   size_t size() const { return buf_.size(); }
 
  private:

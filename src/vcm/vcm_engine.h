@@ -24,6 +24,7 @@
 #ifndef GRAPHITE_VCM_VCM_ENGINE_H_
 #define GRAPHITE_VCM_VCM_ENGINE_H_
 
+#include <algorithm>
 #include <limits>
 #include <span>
 #include <utility>
@@ -41,6 +42,8 @@ namespace graphite {
 struct VcmOptions {
   int num_workers = 4;
   bool use_threads = false;
+  /// OS-thread scheduling when use_threads is set (engine/parallel.h).
+  RuntimeOptions runtime;
   bool always_active = false;
   int max_supersteps = std::numeric_limits<int>::max();
 };
@@ -119,15 +122,38 @@ RunMetrics RunVcm(
   }
   std::vector<std::vector<Message>> inbox(n);
   std::vector<uint8_t> has_mail(n, 0);
+  // Units holding unconsumed mail, per destination worker: the barrier
+  // clears exactly these inboxes, and each list is written only by its
+  // destination's delivery lane.
+  std::vector<std::vector<uint32_t>> mailed(num_workers);
   for (const auto& [unit, msg] : initial_messages) {
     GRAPHITE_CHECK(unit < n && adapter.UnitExists(unit));
     inbox[unit].push_back(msg);
-    has_mail[unit] = 1;
+    if (!has_mail[unit]) {
+      has_mail[unit] = 1;
+      mailed[worker_of[unit]].push_back(unit);
+    }
   }
 
-  // Wire buffers, indexed [src_worker][dst_worker].
-  std::vector<std::vector<Writer>> wire(num_workers);
+  std::vector<size_t> worker_sizes(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    worker_sizes[w] = units_by_worker[w].size();
+  }
+  // Persistent pool + fixed chunk table, reused across supersteps.
+  SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
+                      worker_sizes);
+  const int num_chunks = rt.num_chunks();
+
+  // Wire buffers, indexed [chunk][dst_worker]; chunk rows concatenate in
+  // chunk order to exactly sequential mode's per-worker buffers. Reused
+  // across supersteps (Clear keeps capacity).
+  std::vector<std::vector<Writer>> wire(num_chunks);
   for (auto& row : wire) row.resize(num_workers);
+  std::vector<int64_t> chunk_messages(num_chunks, 0);
+  std::vector<int64_t> chunk_calls(num_chunks, 0);
+  std::vector<int64_t> chunk_ns(num_chunks, 0);
+  std::vector<int64_t> col_bytes(num_workers, 0);
+  std::vector<uint8_t> col_any(num_workers, 0);
 
   RunMetrics metrics;
   const int64_t run_start = NowNanos();
@@ -136,61 +162,82 @@ RunMetrics RunVcm(
     SuperstepMetrics ss;
     ss.worker_compute_ns.assign(num_workers, 0);
     ss.worker_in_bytes.assign(num_workers, 0);
-    std::vector<int64_t> worker_messages(num_workers, 0);
-    std::vector<int64_t> worker_calls(num_workers, 0);
+    ss.worker_compute_calls.assign(num_workers, 0);
+    std::fill(chunk_messages.begin(), chunk_messages.end(), int64_t{0});
+    std::fill(chunk_calls.begin(), chunk_calls.end(), int64_t{0});
 
-    // --- Compute phase. ---
-    RunWorkers(num_workers, options.use_threads, [&](int w) {
-      const int64_t t0 = NowNanos();
-      VcmContext<Message> ctx(superstep, w, worker_of, &wire[w],
-                              &worker_messages[w]);
-      for (uint32_t u : units_by_worker[w]) {
-        const bool active =
-            superstep == 0 || options.always_active || has_mail[u];
-        if (!active) continue;
-        program.Compute(ctx, u, values[u],
-                        std::span<const Message>(inbox[u]));
-        ++worker_calls[w];
-      }
-      ss.worker_compute_ns[w] = NowNanos() - t0;
-    });
-    ss.worker_compute_calls = worker_calls;
-    for (int w = 0; w < num_workers; ++w) {
-      ss.compute_calls += worker_calls[w];
-      ss.messages += worker_messages[w];
+    // --- Compute phase: chunked, work-stealing when configured. ---
+    ss.steals = rt.ComputePhase(
+        &ss.thread_compute_ns, [&](int c, const WorkChunk& chunk, int) {
+          const int64_t t0 = NowNanos();
+          VcmContext<Message> ctx(superstep, chunk.worker, worker_of, &wire[c],
+                                  &chunk_messages[c]);
+          const std::vector<uint32_t>& mine = units_by_worker[chunk.worker];
+          for (size_t i = chunk.begin; i < chunk.end; ++i) {
+            const uint32_t u = mine[i];
+            const bool active =
+                superstep == 0 || options.always_active || has_mail[u];
+            if (!active) continue;
+            program.Compute(ctx, u, values[u],
+                            std::span<const Message>(inbox[u]));
+            ++chunk_calls[c];
+          }
+          chunk_ns[c] = NowNanos() - t0;
+        });
+    for (int c = 0; c < num_chunks; ++c) {
+      const int w = rt.chunk(c).worker;
+      ss.worker_compute_ns[w] += chunk_ns[c];
+      ss.worker_compute_calls[w] += chunk_calls[c];
+      ss.compute_calls += chunk_calls[c];
+      ss.messages += chunk_messages[c];
     }
 
-    // --- Barrier + messaging phase: drain wire buffers into inboxes. ---
+    // --- Barrier: clear only the inboxes that received mail. ---
     const int64_t barrier_t = NowNanos();
-    for (uint32_t u = 0; u < n; ++u) {
-      if (has_mail[u]) inbox[u].clear();
-      has_mail[u] = 0;
+    for (int w = 0; w < num_workers; ++w) {
+      for (const uint32_t u : mailed[w]) {
+        inbox[u].clear();
+        has_mail[u] = 0;
+      }
+      mailed[w].clear();
     }
     ss.barrier_ns = NowNanos() - barrier_t;
 
+    // --- Messaging: per-destination columns delivered concurrently. ---
     const int64_t msg_t = NowNanos();
-    bool any_message = false;
-    for (int dst = 0; dst < num_workers; ++dst) {
+    std::fill(col_bytes.begin(), col_bytes.end(), int64_t{0});
+    std::fill(col_any.begin(), col_any.end(), uint8_t{0});
+    rt.ParallelFor(num_workers, &ss.thread_messaging_ns, [&](int dst, int) {
       for (int src = 0; src < num_workers; ++src) {
-        Writer& buf = wire[src][dst];
-        if (buf.size() == 0) continue;
-        ss.message_bytes += static_cast<int64_t>(buf.size());
-        if (src != dst) {
-          ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
-        }
-        const std::string bytes = buf.Release();
-        buf = Writer();
-        Reader reader(bytes);
-        while (!reader.AtEnd()) {
-          const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
-          Message msg = MessageTraits<Message>::Read(reader);
-          inbox[unit].push_back(std::move(msg));
-          has_mail[unit] = 1;
-          any_message = true;
+        const auto [c0, c1] = rt.ChunkRange(src);
+        for (int c = c0; c < c1; ++c) {
+          Writer& buf = wire[c][dst];
+          if (buf.size() == 0) continue;
+          col_bytes[dst] += static_cast<int64_t>(buf.size());
+          if (src != dst) {
+            ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
+          }
+          Reader reader(buf.buffer());
+          while (!reader.AtEnd()) {
+            const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
+            Message msg = MessageTraits<Message>::Read(reader);
+            inbox[unit].push_back(std::move(msg));
+            if (!has_mail[unit]) {
+              has_mail[unit] = 1;
+              mailed[dst].push_back(unit);
+            }
+          }
+          col_any[dst] = 1;
+          buf.Clear();
         }
       }
-    }
+    });
     ss.messaging_ns = NowNanos() - msg_t;
+    bool any_message = false;
+    for (int dst = 0; dst < num_workers; ++dst) {
+      ss.message_bytes += col_bytes[dst];
+      if (col_any[dst]) any_message = true;
+    }
 
     metrics.Accumulate(ss);
     // Always-active programs run to max_supersteps (the loop bound);
