@@ -1,0 +1,75 @@
+#include "ckpt/checkpoint.h"
+
+#include "util/serde.h"
+
+namespace graphite {
+
+std::string EncodeFrame(const CheckpointFrame& frame) {
+  Writer w;
+  w.WriteU64(static_cast<uint64_t>(frame.superstep));
+  w.WriteU64(frame.num_units);
+  w.WriteI64(frame.counters.supersteps);
+  w.WriteI64(frame.counters.compute_calls);
+  w.WriteI64(frame.counters.scatter_calls);
+  w.WriteI64(frame.counters.messages);
+  w.WriteI64(frame.counters.message_bytes);
+  w.WriteI64(frame.counters.active_compute_calls);
+  w.WriteI64(frame.counters.suppressed_vertices);
+  w.WriteU64(frame.sections.size());
+  for (const std::string& s : frame.sections) w.WriteU64(s.size());
+  std::string out = w.Release();
+  for (const std::string& s : frame.sections) out += s;
+  return out;
+}
+
+Result<CheckpointFrame> DecodeFrame(const std::string& payload) {
+  Reader r(payload);
+  CheckpointFrame frame;
+  uint64_t superstep = 0;
+  GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&superstep));
+  if (superstep > 1u << 30) {
+    return Status::DataLoss("implausible checkpoint superstep " +
+                            std::to_string(superstep));
+  }
+  frame.superstep = static_cast<int>(superstep);
+  GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&frame.num_units));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.supersteps));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.compute_calls));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.scatter_calls));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.messages));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.message_bytes));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.active_compute_calls));
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&frame.counters.suppressed_vertices));
+  uint64_t num_sections = 0;
+  GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&num_sections));
+  if (num_sections > payload.size()) {
+    // Each section costs at least one directory byte; anything larger is
+    // a garbage count, not a real frame.
+    return Status::DataLoss("implausible section count " +
+                            std::to_string(num_sections) + " at byte " +
+                            std::to_string(r.position()));
+  }
+  std::vector<uint64_t> lengths(num_sections);
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&lengths[i]));
+  }
+  frame.sections.reserve(num_sections);
+  size_t pos = r.position();
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    if (lengths[i] > payload.size() - pos) {
+      return Status::DataLoss("truncated worker section " +
+                              std::to_string(i) + " at byte " +
+                              std::to_string(pos) + " (wants " +
+                              std::to_string(lengths[i]) + " bytes)");
+    }
+    frame.sections.push_back(payload.substr(pos, lengths[i]));
+    pos += lengths[i];
+  }
+  if (pos != payload.size()) {
+    return Status::DataLoss("trailing bytes after checkpoint frame at byte " +
+                            std::to_string(pos));
+  }
+  return frame;
+}
+
+}  // namespace graphite

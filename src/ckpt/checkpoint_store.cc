@@ -1,0 +1,185 @@
+#include "ckpt/checkpoint_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/serde.h"
+
+namespace graphite {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'C', 'K', '1'};
+constexpr uint8_t kVersion = 1;
+constexpr char kSuffix[] = ".gck";
+
+std::string FileName(int superstep) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%08d%s", superstep, kSuffix);
+  return buf;
+}
+
+/// Parses "ckpt-<8 digits>.gck" back to the superstep; -1 if foreign.
+int ParseName(const std::string& name) {
+  if (name.size() != 5 + 8 + 4 || name.compare(0, 5, "ckpt-") != 0 ||
+      name.compare(13, 4, kSuffix) != 0) {
+    return -1;
+  }
+  int v = 0;
+  for (size_t i = 5; i < 13; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    v = v * 10 + (name[i] - '0');
+  }
+  return v;
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const std::string& bytes, size_t offset) {
+  // Nibble-driven CRC-32 (reflected 0xEDB88320): a 16-entry table computed
+  // on first use, no init-order or storage concerns.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[16];
+    for (uint32_t i = 0; i < 16; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 4; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = offset; i < bytes.size(); ++i) {
+    const uint8_t b = static_cast<uint8_t>(bytes[i]);
+    crc = kTable[(crc ^ b) & 0x0F] ^ (crc >> 4);
+    crc = kTable[(crc ^ (b >> 4)) & 0x0F] ^ (crc >> 4);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int retain)
+    : dir_(std::move(dir)), retain_(retain < 1 ? 1 : retain) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A bad directory surfaces as an IoError on the first Commit/Load.
+}
+
+std::string CheckpointStore::PathFor(int superstep) const {
+  return dir_ + "/" + FileName(superstep);
+}
+
+Status CheckpointStore::Commit(int superstep, const std::string& payload) {
+  if (superstep < 0 || superstep > 99999999) {
+    return Status::InvalidArgument("checkpoint superstep out of range: " +
+                                   std::to_string(superstep));
+  }
+  std::string envelope(kMagic, sizeof(kMagic));
+  envelope.push_back(static_cast<char>(kVersion));
+  Writer head;
+  head.WriteU64(Crc32(payload));
+  envelope += head.buffer();
+  envelope += payload;
+
+  const std::string path = PathFor(superstep);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + tmp);
+  const size_t written = std::fwrite(envelope.data(), 1, envelope.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != envelope.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  // rename(2) within one directory is atomic: a crash leaves either the
+  // old checkpoint (or nothing) or the complete new one, never a torn
+  // file under the committed name.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  last_commit_bytes_ = static_cast<int64_t>(envelope.size());
+
+  // Retention: drop the oldest beyond the last `retain_`.
+  std::vector<int> all = ListCheckpoints();
+  for (size_t i = 0; i + static_cast<size_t>(retain_) < all.size(); ++i) {
+    GRAPHITE_RETURN_NOT_OK(Remove(all[i]));
+  }
+  return Status::OK();
+}
+
+std::vector<int> CheckpointStore::ListCheckpoints() const {
+  std::vector<int> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    const int s = ParseName(entry.path().filename().string());
+    if (s >= 0) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<CheckpointBlob> CheckpointStore::Load(int superstep) const {
+  const std::string path = PathFor(superstep);
+  std::string bytes;
+  GRAPHITE_RETURN_NOT_OK(ReadFile(path, &bytes));
+  if (bytes.size() < sizeof(kMagic) + 2 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("not a graphite checkpoint (bad magic): " + path);
+  }
+  size_t pos = sizeof(kMagic);
+  const uint8_t version = static_cast<uint8_t>(bytes[pos++]);
+  if (version != kVersion) {
+    return Status::DataLoss("unsupported checkpoint version " +
+                            std::to_string(version) + ": " + path);
+  }
+  uint64_t checksum = 0;
+  if (!GetVarint64(bytes, &pos, &checksum)) {
+    return Status::DataLoss("truncated checkpoint header at byte " +
+                            std::to_string(pos) + ": " + path);
+  }
+  if (Crc32(bytes, pos) != checksum) {
+    return Status::DataLoss("checkpoint checksum mismatch (corrupt file): " +
+                            path);
+  }
+  CheckpointBlob blob;
+  blob.superstep = superstep;
+  blob.payload = bytes.substr(pos);
+  return blob;
+}
+
+Result<CheckpointBlob> CheckpointStore::LoadLatestValid() const {
+  const std::vector<int> all = ListCheckpoints();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    Result<CheckpointBlob> blob = Load(*it);
+    if (blob.ok()) return blob;
+    // Corrupt/truncated: the checksum spoke; fall back to the previous.
+  }
+  return Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+Status CheckpointStore::Remove(int superstep) {
+  const std::string path = PathFor(superstep);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // Missing file is fine.
+  if (ec) return Status::IoError("cannot remove " + path);
+  return Status::OK();
+}
+
+}  // namespace graphite

@@ -1,0 +1,51 @@
+#include "ckpt/fault_injector.h"
+
+#include <cstdio>
+#include <string>
+
+namespace graphite {
+
+namespace {
+
+Status ReadAll(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status WriteAll(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjector::CorruptByte(const CheckpointStore& store, int superstep,
+                                  size_t offset) {
+  const std::string path = store.PathFor(superstep);
+  std::string bytes;
+  GRAPHITE_RETURN_NOT_OK(ReadAll(path, &bytes));
+  if (bytes.empty()) return Status::DataLoss("empty checkpoint: " + path);
+  bytes[offset % bytes.size()] ^= 0x40;
+  return WriteAll(path, bytes);
+}
+
+Status FaultInjector::Truncate(const CheckpointStore& store, int superstep,
+                               size_t keep_bytes) {
+  const std::string path = store.PathFor(superstep);
+  std::string bytes;
+  GRAPHITE_RETURN_NOT_OK(ReadAll(path, &bytes));
+  if (keep_bytes < bytes.size()) bytes.resize(keep_bytes);
+  return WriteAll(path, bytes);
+}
+
+}  // namespace graphite

@@ -16,6 +16,15 @@ namespace graphite {
 template <typename T>
 struct MessageTraits;  // Specialize per payload type.
 
+/// Types with a MessageTraits wire codec. Engine features that persist
+/// state (superstep checkpoints) require this of the Program's State/Value
+/// type; message types satisfy it by construction.
+template <typename T>
+concept HasWireTraits = requires(Writer& w, Reader& r, const T& v) {
+  MessageTraits<T>::Write(w, v);
+  { MessageTraits<T>::Read(r) } -> std::convertible_to<T>;
+};
+
 template <>
 struct MessageTraits<int64_t> {
   static void Write(Writer& w, const int64_t& v) { w.WriteI64(v); }

@@ -16,6 +16,9 @@ void RunMetrics::Accumulate(const SuperstepMetrics& ss) {
   for (int64_t ns : ss.worker_compute_ns) compute_ns += ns;
   messaging_ns += ss.messaging_ns;
   barrier_ns += ss.barrier_ns;
+  if (ss.checkpoint_bytes > 0) ++checkpoints;
+  checkpoint_ns += ss.checkpoint_ns;
+  checkpoint_bytes += ss.checkpoint_bytes;
   per_superstep.push_back(ss);
 }
 
@@ -30,6 +33,11 @@ void RunMetrics::Merge(const RunMetrics& other) {
   messaging_ns += other.messaging_ns;
   barrier_ns += other.barrier_ns;
   makespan_ns += other.makespan_ns;
+  checkpoints += other.checkpoints;
+  checkpoint_ns += other.checkpoint_ns;
+  checkpoint_bytes += other.checkpoint_bytes;
+  interrupted = interrupted || other.interrupted;
+  if (resumed_from < 0) resumed_from = other.resumed_from;
   per_superstep.insert(per_superstep.end(), other.per_superstep.begin(),
                        other.per_superstep.end());
 }
@@ -75,6 +83,14 @@ std::string RunMetrics::ToString() const {
       " messaging_ms=" + FormatDouble(static_cast<double>(messaging_ns) / 1e6);
   out += " makespan_ms=" + FormatDouble(static_cast<double>(makespan_ns) / 1e6);
   if (steals > 0) out += " steals=" + FormatCount(steals);
+  if (checkpoints > 0) {
+    out += " checkpoints=" + std::to_string(checkpoints);
+    out += " ckpt_ms=" +
+           FormatDouble(static_cast<double>(checkpoint_ns) / 1e6);
+    out += " ckpt_bytes=" + FormatCount(checkpoint_bytes);
+  }
+  if (resumed_from >= 0) out += " resumed_from=" + std::to_string(resumed_from);
+  if (interrupted) out += " INTERRUPTED";
   return out;
 }
 

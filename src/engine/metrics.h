@@ -31,6 +31,8 @@ struct SuperstepMetrics {
   int64_t scatter_calls = 0;
   int64_t messages = 0;
   int64_t message_bytes = 0;
+  int64_t checkpoint_ns = 0;     ///< Time writing a barrier checkpoint.
+  int64_t checkpoint_bytes = 0;  ///< Committed envelope size (0 = none).
 };
 
 /// Aggregate metrics for one algorithm run.
@@ -45,6 +47,17 @@ struct RunMetrics {
   int64_t messaging_ns = 0;  ///< Total exclusive messaging time.
   int64_t barrier_ns = 0;
   int64_t makespan_ns = 0;   ///< Wall clock, first to last superstep.
+  int64_t checkpoints = 0;       ///< Barrier checkpoints committed.
+  int64_t checkpoint_ns = 0;     ///< Total checkpoint write time.
+  int64_t checkpoint_bytes = 0;  ///< Total committed envelope bytes.
+  /// True when a FaultInjector killed this run mid-superstep; the result
+  /// models a crashed process and must be discarded (see ckpt/).
+  bool interrupted = false;
+  /// Superstep the run resumed at, or -1 for a cold start. Counters above
+  /// are cumulative across the resume (carried from the checkpoint), so an
+  /// interrupted-and-resumed run reports the same totals as an
+  /// uninterrupted one; per_superstep only covers post-resume supersteps.
+  int resumed_from = -1;
   std::vector<SuperstepMetrics> per_superstep;
 
   /// Folds a finished superstep into the totals.

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint_policy.h"
 #include "engine/thread_pool.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -79,6 +80,9 @@ struct RuntimeOptions {
   int num_threads = 0;
   /// Work-stealing granularity: items (vertices/units) per chunk.
   int chunk_size = 64;
+  /// When to write barrier checkpoints; inert unless a CheckpointStore is
+  /// supplied via RecoveryContext (see ckpt/checkpoint.h).
+  CheckpointPolicy checkpoint;
 };
 
 /// A contiguous slice [begin, end) of logical worker `worker`'s item list.

@@ -43,12 +43,16 @@
 #define GRAPHITE_ICM_ICM_ENGINE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint_store.h"
+#include "ckpt/fault_injector.h"
 #include "engine/message_traits.h"
 #include "engine/metrics.h"
 #include "engine/parallel.h"
@@ -225,15 +229,22 @@ class IcmEngine {
   using StateEntry = typename IntervalMap<State>::Entry;
   using Item = TemporalItem<Message>;
 
+  /// `recovery` connects the run to the checkpoint subsystem (ckpt/):
+  /// checkpoints are written where options.runtime.checkpoint says, into
+  /// recovery.store; with recovery.resume the run restarts from the
+  /// newest valid checkpoint (or recovery.resume_from). Requires
+  /// MessageTraits for State as well as Message when used.
   static IcmResult<Program> Run(const TemporalGraph& g, Program& program,
-                                const IcmOptions& options = {}) {
-    IcmEngine engine(g, program, options);
+                                const IcmOptions& options = {},
+                                const RecoveryContext& recovery = {}) {
+    IcmEngine engine(g, program, options, recovery);
     return engine.Execute();
   }
 
  private:
-  IcmEngine(const TemporalGraph& g, Program& program, const IcmOptions& options)
-      : g_(g), program_(program), options_(options) {}
+  IcmEngine(const TemporalGraph& g, Program& program, const IcmOptions& options,
+            const RecoveryContext& recovery)
+      : g_(g), program_(program), options_(options), recovery_(recovery) {}
 
   IcmResult<Program> Execute() {
     const size_t n = g_.num_vertices();
@@ -292,8 +303,58 @@ class IcmEngine {
     std::vector<int64_t> col_bytes(num_workers, 0);
     std::vector<uint8_t> col_any(num_workers, 0);
 
+    // Recovery (ckpt/): restore the exact input of a checkpointed
+    // superstep — states, mail flags, undelivered inboxes and the carried
+    // cumulative counters — then enter the loop at that superstep.
+    int start_superstep = 0;
+    CheckpointStore* store = recovery_.store;
+    if constexpr (kCheckpointable) {
+      if (store != nullptr && recovery_.resume) {
+        Result<CheckpointBlob> blob =
+            recovery_.resume_from >= 0 ? store->Load(recovery_.resume_from)
+                                       : store->LoadLatestValid();
+        // No valid checkpoint (first run, or all copies corrupt): cold
+        // start — resume-always callers need no special first-run path.
+        if (blob.ok()) {
+          Result<CheckpointFrame> frame = DecodeFrame(blob.value().payload);
+          GRAPHITE_CHECK(frame.ok());
+          const CheckpointFrame& f = frame.value();
+          GRAPHITE_CHECK(f.num_units == n);
+          GRAPHITE_CHECK(static_cast<int>(f.sections.size()) == num_workers);
+          // Sections cover disjoint owned-vertex sets: decode in parallel.
+          std::vector<int64_t> unused_ns;
+          rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
+            DecodeSection(f.sections[w], &states, &has_mail, &inbox);
+          });
+          // Rebuild the per-destination mailed lists in owner order (their
+          // order only affects barrier clearing, not results).
+          for (int w = 0; w < num_workers; ++w) {
+            for (const VertexIdx v : vertices_by_worker[w]) {
+              if (has_mail[v]) mailed[w].push_back(v);
+            }
+          }
+          start_superstep = f.superstep;
+          result.metrics.resumed_from = f.superstep;
+          result.metrics.supersteps = f.counters.supersteps;
+          result.metrics.compute_calls = f.counters.compute_calls;
+          result.metrics.scatter_calls = f.counters.scatter_calls;
+          result.metrics.messages = f.counters.messages;
+          result.metrics.message_bytes = f.counters.message_bytes;
+          result.active_compute_calls = f.counters.active_compute_calls;
+          result.suppressed_vertices = f.counters.suppressed_vertices;
+        }
+      }
+    } else {
+      // Programs without wire traits for State can run, but cannot
+      // checkpoint or resume.
+      GRAPHITE_CHECK(store == nullptr && !recovery_.resume);
+    }
+
+    std::atomic<bool> killed{false};
     const int64_t run_start = NowNanos();
-    for (int superstep = 0; superstep < options_.max_supersteps; ++superstep) {
+    [[maybe_unused]] int64_t last_checkpoint_t = run_start;
+    for (int superstep = start_superstep; superstep < options_.max_supersteps;
+         ++superstep) {
       SuperstepMetrics ss;
       ss.worker_compute_ns.assign(num_workers, 0);
       ss.worker_in_bytes.assign(num_workers, 0);
@@ -303,6 +364,12 @@ class IcmEngine {
       ss.steals = rt.ComputePhase(
           &ss.thread_compute_ns,
           [&](int c, const WorkChunk& chunk, int thread) {
+            if (killed.load(std::memory_order_relaxed)) return;
+            if (recovery_.fault != nullptr &&
+                recovery_.fault->Fire(superstep, chunk.worker)) {
+              killed.store(true, std::memory_order_relaxed);
+              return;
+            }
             const int64_t t0 = NowNanos();
             const std::vector<VertexIdx>& mine =
                 vertices_by_worker[chunk.worker];
@@ -317,6 +384,15 @@ class IcmEngine {
             }
             chunk_ns[c] = NowNanos() - t0;
           });
+      if (killed.load(std::memory_order_relaxed)) {
+        // Simulated crash (ckpt/fault_injector.h): return exactly as a
+        // dead process would look to a restarting one — nothing from the
+        // killed superstep is accumulated, checkpointed or trusted. The
+        // caller discards this result and re-runs with resume set.
+        result.metrics.interrupted = true;
+        result.metrics.makespan_ns = NowNanos() - run_start;
+        return result;
+      }
       for (int c = 0; c < num_chunks; ++c) {
         const int w = rt.chunk(c).worker;
         ss.worker_compute_ns[w] += chunk_ns[c];
@@ -379,10 +455,114 @@ class IcmEngine {
       }
 
       result.metrics.Accumulate(ss);
-      if (!any_message && !options_.always_active) break;
+      const bool halting = !any_message && !options_.always_active;
+      if constexpr (kCheckpointable) {
+        // Barrier checkpoint: the messaging phase has delivered the
+        // inboxes of superstep+1, so the frame captures exactly that
+        // superstep's input. The final barrier is never checkpointed —
+        // there is nothing left to resume.
+        if (store != nullptr && !halting &&
+            superstep + 1 < options_.max_supersteps &&
+            options_.runtime.checkpoint.ShouldCheckpoint(
+                superstep, NowNanos() - last_checkpoint_t)) {
+          const int64_t ckpt_t0 = NowNanos();
+          CheckpointFrame frame;
+          frame.superstep = superstep + 1;
+          frame.num_units = n;
+          frame.counters = {result.metrics.supersteps,
+                            result.metrics.compute_calls,
+                            result.metrics.scatter_calls,
+                            result.metrics.messages,
+                            result.metrics.message_bytes,
+                            result.active_compute_calls,
+                            result.suppressed_vertices};
+          frame.sections.resize(num_workers);
+          // Sections cover disjoint owned-vertex sets: encode in parallel
+          // on the run's pool.
+          std::vector<int64_t> unused_ns;
+          rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
+            frame.sections[w] =
+                EncodeSection(vertices_by_worker[w], states, has_mail, inbox);
+          });
+          const Status committed =
+              store->Commit(frame.superstep, EncodeFrame(frame));
+          GRAPHITE_CHECK(committed.ok());
+          last_checkpoint_t = NowNanos();
+          SuperstepMetrics& back = result.metrics.per_superstep.back();
+          back.checkpoint_ns = last_checkpoint_t - ckpt_t0;
+          back.checkpoint_bytes = store->last_commit_bytes();
+          ++result.metrics.checkpoints;
+          result.metrics.checkpoint_ns += back.checkpoint_ns;
+          result.metrics.checkpoint_bytes += back.checkpoint_bytes;
+        }
+      }
+      if (halting) break;
     }
     result.metrics.makespan_ns = NowNanos() - run_start;
     return result;
+  }
+
+  /// Checkpointing needs both the State and the Message on the wire (see
+  /// ckpt/checkpoint.h); programs without traits for either simply cannot
+  /// use a CheckpointStore.
+  static constexpr bool kCheckpointable =
+      HasWireTraits<State> && HasWireTraits<Message>;
+
+  /// One logical worker's slice of a checkpoint frame: per owned vertex,
+  /// the mail flag, the partitioned interval states, and the undelivered
+  /// inbox for the next superstep.
+  std::string EncodeSection(const std::vector<VertexIdx>& mine,
+                            const std::vector<IntervalMap<State>>& states,
+                            const std::vector<uint8_t>& has_mail,
+                            const std::vector<std::vector<Item>>& inbox) const {
+    Writer w;
+    for (const VertexIdx v : mine) {
+      w.WriteU64(v);
+      w.WriteByte(has_mail[v]);
+      w.WriteU64(states[v].size());
+      for (const StateEntry& e : states[v].entries()) {
+        WriteInterval(w, e.interval);
+        MessageTraits<State>::Write(w, e.value);
+      }
+      w.WriteU64(inbox[v].size());
+      for (const Item& m : inbox[v]) {
+        WriteInterval(w, m.interval);
+        MessageTraits<Message>::Write(w, m.value);
+      }
+    }
+    return w.Release();
+  }
+
+  /// Inverse of EncodeSection. The store's CRC already vouched for the
+  /// bytes, so reads are the fast aborting kind. States are adopted
+  /// verbatim (FromEntries) — rebuilding via Set() would both be quadratic
+  /// and risk a different (coalesced) partition than the one persisted.
+  void DecodeSection(const std::string& bytes,
+                     std::vector<IntervalMap<State>>* states,
+                     std::vector<uint8_t>* has_mail,
+                     std::vector<std::vector<Item>>* inbox) const {
+    Reader r(bytes);
+    while (!r.AtEnd()) {
+      const VertexIdx v = static_cast<VertexIdx>(r.ReadU64());
+      GRAPHITE_CHECK(v < states->size());
+      (*has_mail)[v] = r.ReadByte();
+      const uint64_t num_entries = r.ReadU64();
+      std::vector<StateEntry> entries;
+      entries.reserve(num_entries);
+      for (uint64_t i = 0; i < num_entries; ++i) {
+        const Interval iv = ReadInterval(r);
+        entries.push_back({iv, MessageTraits<State>::Read(r)});
+      }
+      (*states)[v] = IntervalMap<State>::FromEntries(std::move(entries));
+      const uint64_t num_msgs = r.ReadU64();
+      std::vector<Item>& box = (*inbox)[v];
+      box.clear();
+      box.reserve(num_msgs);
+      for (uint64_t i = 0; i < num_msgs; ++i) {
+        const Interval iv = ReadInterval(r);
+        box.push_back({iv, MessageTraits<Message>::Read(r)});
+      }
+    }
   }
 
   struct WorkerCounters {
@@ -739,6 +919,7 @@ class IcmEngine {
   const TemporalGraph& g_;
   Program& program_;
   IcmOptions options_;
+  RecoveryContext recovery_;
 };
 
 }  // namespace graphite

@@ -151,50 +151,72 @@ Result<TemporalGraph> ReadBinaryGraph(const std::string& bytes) {
   size_t pos = 4;
   uint64_t checksum = 0;
   if (!GetVarint64(bytes, &pos, &checksum)) {
-    return Status::InvalidArgument("truncated header");
+    return Status::DataLoss("truncated header at byte " + std::to_string(pos) +
+                            " of " + std::to_string(bytes.size()));
   }
   if (Fnv1a64(bytes, pos) != checksum) {
-    return Status::InvalidArgument("checksum mismatch (corrupt file)");
+    return Status::DataLoss("checksum mismatch (corrupt file)");
   }
-  // From here reads are guarded by the checksum; Reader CHECKs would only
-  // fire on a hash collision, which we accept.
+  // The checksum already vouched for the payload, but every read below
+  // still carries byte-offset context (Try* reads): a hash collision or a
+  // decoder bug surfaces as a located DataLoss, never a process abort.
+  // Offsets in errors are relative to the payload (after the header).
   const std::string payload = bytes.substr(pos);
   Reader r(payload);
 
   TemporalGraphBuilder builder;
   BuilderOptions options;
-  options.horizon = r.ReadI64();
+  GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&options.horizon));
 
-  const uint64_t num_labels = r.ReadU64();
+  uint64_t num_labels = 0;
+  GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&num_labels));
   std::vector<std::string> labels;
-  labels.reserve(num_labels);
-  for (uint64_t i = 0; i < num_labels; ++i) labels.push_back(r.ReadBytes());
-
-  const uint64_t num_vertices = r.ReadU64();
-  int64_t prev = 0;
-  for (uint64_t i = 0; i < num_vertices; ++i) {
-    prev += r.ReadI64();
-    builder.AddVertex(prev, ReadInterval(r));
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    std::string name;
+    GRAPHITE_RETURN_NOT_OK(r.TryReadBytes(&name));
+    labels.push_back(std::move(name));
   }
-  const uint64_t num_edges = r.ReadU64();
+
+  uint64_t num_vertices = 0;
+  GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&num_vertices));
+  int64_t prev = 0;
+  int64_t delta = 0;
+  Interval iv;
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&delta));
+    prev += delta;
+    GRAPHITE_RETURN_NOT_OK(TryReadInterval(r, &iv));
+    builder.AddVertex(prev, iv);
+  }
+  uint64_t num_edges = 0;
+  GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&num_edges));
   prev = 0;
   for (uint64_t i = 0; i < num_edges; ++i) {
-    prev += r.ReadI64();
-    const VertexId src = r.ReadI64();
-    const VertexId dst = r.ReadI64();
-    builder.AddEdge(prev, src, dst, ReadInterval(r));
+    GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&delta));
+    prev += delta;
+    VertexId src = 0;
+    VertexId dst = 0;
+    GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&src));
+    GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&dst));
+    GRAPHITE_RETURN_NOT_OK(TryReadInterval(r, &iv));
+    builder.AddEdge(prev, src, dst, iv);
   }
   for (int kind = 0; kind < 2; ++kind) {
-    const uint64_t count = r.ReadU64();
+    uint64_t count = 0;
+    GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&count));
     prev = 0;
     for (uint64_t i = 0; i < count; ++i) {
-      prev += r.ReadI64();
-      const uint64_t label = r.ReadU64();
+      GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&delta));
+      prev += delta;
+      uint64_t label = 0;
+      GRAPHITE_RETURN_NOT_OK(r.TryReadU64(&label));
       if (label >= labels.size()) {
-        return Status::InvalidArgument("bad label index in property record");
+        return Status::DataLoss("bad label index in property record at byte " +
+                                std::to_string(r.position()));
       }
-      const Interval iv = ReadInterval(r);
-      const PropValue value = r.ReadI64();
+      GRAPHITE_RETURN_NOT_OK(TryReadInterval(r, &iv));
+      int64_t value = 0;
+      GRAPHITE_RETURN_NOT_OK(r.TryReadI64(&value));
       if (kind == 0) {
         builder.SetVertexProperty(prev, labels[label], iv, value);
       } else {
@@ -203,7 +225,8 @@ Result<TemporalGraph> ReadBinaryGraph(const std::string& bytes) {
     }
   }
   if (!r.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after graph payload");
+    return Status::DataLoss("trailing bytes after graph payload at byte " +
+                            std::to_string(r.position()));
   }
   return builder.Build(options);
 }

@@ -35,6 +35,17 @@ class IntervalMap {
     if (interval.IsValid()) entries_.push_back({interval, std::move(value)});
   }
 
+  /// Adopts `entries` verbatim (must be sorted by start and disjoint) —
+  /// the deserialization path. Rebuilding via Set() would be quadratic and
+  /// the entries of a persisted map are already canonical; restoring them
+  /// unchanged is what makes checkpoint round-trips byte-exact.
+  static IntervalMap FromEntries(std::vector<Entry> entries) {
+    IntervalMap m;
+    m.entries_ = std::move(entries);
+    GRAPHITE_CHECK(m.IsWellFormed());
+    return m;
+  }
+
   /// Assigns `value` over `interval`, splitting any overlapped entries so
   /// that portions outside `interval` keep their previous values. This is
   /// the paper's dynamic state repartitioning: updating a sub-interval of a

@@ -35,14 +35,30 @@ class Writer {
 
   const std::string& buffer() const { return buf_; }
   std::string Release() { return std::move(buf_); }
-  /// Empties the buffer but keeps its capacity — the engines drain and
-  /// refill wire buffers every superstep, so reuse beats Release() +
-  /// reconstruct (which reallocates from scratch each time).
-  void Clear() { buf_.clear(); }
+  /// Empties the buffer but keeps (most of) its capacity — the engines
+  /// drain and refill wire buffers every superstep, so reuse beats
+  /// Release() + reconstruct (which reallocates from scratch each time).
+  /// Capacity is bounded by a decaying high-water mark: one pathologically
+  /// large superstep no longer pins its peak allocation for the rest of a
+  /// long run — once recent fills stay small, the buffer shrinks back.
+  void Clear() {
+    // Decay by 1/8 per Clear toward the latest fill; a burst re-raises it
+    // instantly, a one-off spike fades in a few dozen supersteps.
+    high_water_ = std::max(buf_.size(), high_water_ - high_water_ / 8);
+    buf_.clear();
+    if (buf_.capacity() > 4 * high_water_ + kClearRetainBytes) {
+      buf_.shrink_to_fit();
+      buf_.reserve(high_water_);
+    }
+  }
   size_t size() const { return buf_.size(); }
 
  private:
+  /// Capacity slack Clear() always tolerates, so small buffers never churn.
+  static constexpr size_t kClearRetainBytes = 1024;
+
   std::string buf_;
+  size_t high_water_ = 0;  // Decaying peak of recent fill sizes.
 };
 
 /// Sequential decoder over a byte buffer. All reads abort on malformed
@@ -81,10 +97,47 @@ class Reader {
     return out;
   }
 
+  // Status-returning reads for untrusted at-rest bytes (graph files,
+  // checkpoints): a truncated or malformed buffer yields a DataLoss error
+  // carrying the byte offset instead of aborting the process. On failure
+  // the cursor stays at the failed field, so the offset in the message
+  // points at it.
+  Status TryReadU64(uint64_t* v) {
+    if (!GetVarint64(buf_, &pos_, v)) return CorruptAt("varint");
+    return Status::OK();
+  }
+  Status TryReadI64(int64_t* v) {
+    if (!GetVarint64Signed(buf_, &pos_, v)) return CorruptAt("varint");
+    return Status::OK();
+  }
+  Status TryReadByte(uint8_t* b) {
+    if (pos_ >= buf_.size()) return CorruptAt("byte");
+    *b = static_cast<uint8_t>(buf_[pos_++]);
+    return Status::OK();
+  }
+  Status TryReadBytes(std::string* s) {
+    const size_t at = pos_;
+    uint64_t n = 0;
+    GRAPHITE_RETURN_NOT_OK(TryReadU64(&n));
+    if (n > buf_.size() - pos_) {
+      pos_ = at;
+      return CorruptAt("length-prefixed bytes");
+    }
+    *s = buf_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
   bool AtEnd() const { return pos_ == buf_.size(); }
   size_t position() const { return pos_; }
 
  private:
+  Status CorruptAt(const char* what) const {
+    return Status::DataLoss("truncated or malformed " + std::string(what) +
+                            " at byte " + std::to_string(pos_) + " of " +
+                            std::to_string(buf_.size()));
+  }
+
   const std::string& buf_;
   size_t pos_ = 0;
 };

@@ -22,6 +22,7 @@ enum class StatusCode {
   kConstraintViolation,  ///< Temporal-graph soundness constraint broken.
   kIoError,
   kInternal,
+  kDataLoss,  ///< At-rest bytes are corrupt/truncated (checksum, codec).
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

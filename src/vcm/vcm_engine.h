@@ -25,11 +25,15 @@
 #define GRAPHITE_VCM_VCM_ENGINE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint_store.h"
+#include "ckpt/fault_injector.h"
 #include "engine/message_traits.h"
 #include "engine/metrics.h"
 #include "engine/parallel.h"
@@ -88,12 +92,18 @@ class VcmContext {
 /// `initial_messages` seed the superstep-0 inboxes — used by GoFFish to
 /// carry temporal messages from the previous snapshot; units with seed
 /// messages receive them in superstep 0 (all existing units run then).
+/// `recovery` connects the run to the checkpoint subsystem (ckpt/):
+/// checkpoints are written where options.runtime.checkpoint says, into
+/// recovery.store; with recovery.resume the run restarts from the newest
+/// valid checkpoint (initial_messages are then ignored — the frame holds
+/// the delivered inboxes). Requires MessageTraits for Value when used.
 template <typename Program, typename Adapter>
 RunMetrics RunVcm(
     const Adapter& adapter, Program& program, const VcmOptions& options,
     std::vector<typename Program::Value>* out_values = nullptr,
     const std::vector<std::pair<uint32_t, typename Program::Message>>&
-        initial_messages = {}) {
+        initial_messages = {},
+    const RecoveryContext& recovery = {}) {
   using Value = typename Program::Value;
   using Message = typename Program::Message;
 
@@ -126,14 +136,6 @@ RunMetrics RunVcm(
   // clears exactly these inboxes, and each list is written only by its
   // destination's delivery lane.
   std::vector<std::vector<uint32_t>> mailed(num_workers);
-  for (const auto& [unit, msg] : initial_messages) {
-    GRAPHITE_CHECK(unit < n && adapter.UnitExists(unit));
-    inbox[unit].push_back(msg);
-    if (!has_mail[unit]) {
-      has_mail[unit] = 1;
-      mailed[worker_of[unit]].push_back(unit);
-    }
-  }
 
   std::vector<size_t> worker_sizes(num_workers);
   for (int w = 0; w < num_workers; ++w) {
@@ -143,6 +145,102 @@ RunMetrics RunVcm(
   SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
                       worker_sizes);
   const int num_chunks = rt.num_chunks();
+
+  // Checkpointing needs the unit Value on the wire too (the Message
+  // already has traits by the engine contract); see ckpt/checkpoint.h.
+  constexpr bool kCheckpointable = HasWireTraits<Value>;
+  // A VCM worker section: per owned unit, the mail flag, the value and the
+  // undelivered inbox for the next superstep.
+  // (The bodies sit behind if constexpr so a Value without wire traits
+  // still compiles — the lambdas are then never called.)
+  auto encode_section = [&](int w) {
+    Writer enc;
+    if constexpr (kCheckpointable) {
+      for (const uint32_t u : units_by_worker[w]) {
+        enc.WriteU64(u);
+        enc.WriteByte(has_mail[u]);
+        MessageTraits<Value>::Write(enc, values[u]);
+        enc.WriteU64(inbox[u].size());
+        for (const Message& m : inbox[u]) {
+          MessageTraits<Message>::Write(enc, m);
+        }
+      }
+    }
+    return enc.Release();
+  };
+  // Inverse; the store's CRC already vouched for the bytes, so reads are
+  // the fast aborting kind.
+  auto decode_section = [&](const std::string& bytes) {
+    if constexpr (kCheckpointable) {
+      Reader r(bytes);
+      while (!r.AtEnd()) {
+        const uint32_t u = static_cast<uint32_t>(r.ReadU64());
+        GRAPHITE_CHECK(u < n);
+        has_mail[u] = r.ReadByte();
+        values[u] = MessageTraits<Value>::Read(r);
+        const uint64_t num_msgs = r.ReadU64();
+        inbox[u].clear();
+        inbox[u].reserve(num_msgs);
+        for (uint64_t i = 0; i < num_msgs; ++i) {
+          inbox[u].push_back(MessageTraits<Message>::Read(r));
+        }
+      }
+    }
+  };
+
+  // Recovery (ckpt/): restore the exact input of a checkpointed superstep,
+  // or fall through to a cold start (which still seeds initial_messages).
+  int start_superstep = 0;
+  bool resumed = false;
+  CheckpointStore* store = recovery.store;
+  RunMetrics metrics;
+  if constexpr (kCheckpointable) {
+    if (store != nullptr && recovery.resume) {
+      Result<CheckpointBlob> blob =
+          recovery.resume_from >= 0 ? store->Load(recovery.resume_from)
+                                    : store->LoadLatestValid();
+      if (blob.ok()) {
+        Result<CheckpointFrame> frame = DecodeFrame(blob.value().payload);
+        GRAPHITE_CHECK(frame.ok());
+        const CheckpointFrame& f = frame.value();
+        GRAPHITE_CHECK(f.num_units == n);
+        GRAPHITE_CHECK(static_cast<int>(f.sections.size()) == num_workers);
+        // Sections cover disjoint owned-unit sets: decode in parallel.
+        std::vector<int64_t> unused_ns;
+        rt.ParallelFor(num_workers, &unused_ns,
+                       [&](int w, int) { decode_section(f.sections[w]); });
+        // Rebuild the per-destination mailed lists in owner order (their
+        // order only affects barrier clearing, not results).
+        for (int w = 0; w < num_workers; ++w) {
+          for (const uint32_t u : units_by_worker[w]) {
+            if (has_mail[u]) mailed[w].push_back(u);
+          }
+        }
+        start_superstep = f.superstep;
+        resumed = true;
+        metrics.resumed_from = f.superstep;
+        metrics.supersteps = f.counters.supersteps;
+        metrics.compute_calls = f.counters.compute_calls;
+        metrics.scatter_calls = f.counters.scatter_calls;
+        metrics.messages = f.counters.messages;
+        metrics.message_bytes = f.counters.message_bytes;
+      }
+    }
+  } else {
+    // Programs without wire traits for Value can run, but cannot
+    // checkpoint or resume.
+    GRAPHITE_CHECK(store == nullptr && !recovery.resume);
+  }
+  if (!resumed) {
+    for (const auto& [unit, msg] : initial_messages) {
+      GRAPHITE_CHECK(unit < n && adapter.UnitExists(unit));
+      inbox[unit].push_back(msg);
+      if (!has_mail[unit]) {
+        has_mail[unit] = 1;
+        mailed[worker_of[unit]].push_back(unit);
+      }
+    }
+  }
 
   // Wire buffers, indexed [chunk][dst_worker]; chunk rows concatenate in
   // chunk order to exactly sequential mode's per-worker buffers. Reused
@@ -155,10 +253,12 @@ RunMetrics RunVcm(
   std::vector<int64_t> col_bytes(num_workers, 0);
   std::vector<uint8_t> col_any(num_workers, 0);
 
-  RunMetrics metrics;
+  std::atomic<bool> killed{false};
   const int64_t run_start = NowNanos();
+  [[maybe_unused]] int64_t last_checkpoint_t = run_start;
 
-  for (int superstep = 0; superstep < options.max_supersteps; ++superstep) {
+  for (int superstep = start_superstep; superstep < options.max_supersteps;
+       ++superstep) {
     SuperstepMetrics ss;
     ss.worker_compute_ns.assign(num_workers, 0);
     ss.worker_in_bytes.assign(num_workers, 0);
@@ -169,6 +269,12 @@ RunMetrics RunVcm(
     // --- Compute phase: chunked, work-stealing when configured. ---
     ss.steals = rt.ComputePhase(
         &ss.thread_compute_ns, [&](int c, const WorkChunk& chunk, int) {
+          if (killed.load(std::memory_order_relaxed)) return;
+          if (recovery.fault != nullptr &&
+              recovery.fault->Fire(superstep, chunk.worker)) {
+            killed.store(true, std::memory_order_relaxed);
+            return;
+          }
           const int64_t t0 = NowNanos();
           VcmContext<Message> ctx(superstep, chunk.worker, worker_of, &wire[c],
                                   &chunk_messages[c]);
@@ -184,6 +290,15 @@ RunMetrics RunVcm(
           }
           chunk_ns[c] = NowNanos() - t0;
         });
+    if (killed.load(std::memory_order_relaxed)) {
+      // Simulated crash (ckpt/fault_injector.h): return exactly as a dead
+      // process would look to a restarting one — nothing from the killed
+      // superstep is accumulated, checkpointed or trusted.
+      metrics.interrupted = true;
+      metrics.makespan_ns = NowNanos() - run_start;
+      if (out_values != nullptr) *out_values = std::move(values);
+      return metrics;
+    }
     for (int c = 0; c < num_chunks; ++c) {
       const int w = rt.chunk(c).worker;
       ss.worker_compute_ns[w] += chunk_ns[c];
@@ -242,7 +357,42 @@ RunMetrics RunVcm(
     metrics.Accumulate(ss);
     // Always-active programs run to max_supersteps (the loop bound);
     // message-driven ones halt on the first quiet superstep.
-    if (!any_message && !options.always_active) break;
+    const bool halting = !any_message && !options.always_active;
+    if constexpr (kCheckpointable) {
+      // Barrier checkpoint: the messaging phase has delivered the inboxes
+      // of superstep+1, so the frame captures exactly that superstep's
+      // input. The final barrier is never checkpointed.
+      if (store != nullptr && !halting &&
+          superstep + 1 < options.max_supersteps &&
+          options.runtime.checkpoint.ShouldCheckpoint(
+              superstep, NowNanos() - last_checkpoint_t)) {
+        const int64_t ckpt_t0 = NowNanos();
+        CheckpointFrame frame;
+        frame.superstep = superstep + 1;
+        frame.num_units = n;
+        frame.counters = {metrics.supersteps, metrics.compute_calls,
+                          metrics.scatter_calls, metrics.messages,
+                          metrics.message_bytes, 0, 0};
+        frame.sections.resize(num_workers);
+        // Sections cover disjoint owned-unit sets: encode in parallel on
+        // the run's pool.
+        std::vector<int64_t> unused_ns;
+        rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
+          frame.sections[w] = encode_section(w);
+        });
+        const Status committed =
+            store->Commit(frame.superstep, EncodeFrame(frame));
+        GRAPHITE_CHECK(committed.ok());
+        last_checkpoint_t = NowNanos();
+        SuperstepMetrics& back = metrics.per_superstep.back();
+        back.checkpoint_ns = last_checkpoint_t - ckpt_t0;
+        back.checkpoint_bytes = store->last_commit_bytes();
+        ++metrics.checkpoints;
+        metrics.checkpoint_ns += back.checkpoint_ns;
+        metrics.checkpoint_bytes += back.checkpoint_bytes;
+      }
+    }
+    if (halting) break;
   }
 
   metrics.makespan_ns = NowNanos() - run_start;

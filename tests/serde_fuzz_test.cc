@@ -1,0 +1,242 @@
+// Property/fuzz tests for the serialization stack under the checkpoint
+// subsystem: varint round-trips across the full magnitude range, the
+// Status-returning Try* reads on truncated and malformed buffers (these
+// feed both binary graph loading and checkpoint frame decoding), and the
+// Writer::Clear high-water-mark capacity decay. Deterministic seeds — a
+// failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "icm/message.h"
+#include "util/serde.h"
+#include "util/varint.h"
+
+namespace graphite {
+namespace {
+
+// Values spanning every varint length, plus random fills per magnitude.
+std::vector<uint64_t> FuzzValues(uint64_t seed, int per_magnitude) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  uint64_t{1} << 32, ~uint64_t{0}};
+  for (int bits = 1; bits <= 64; ++bits) {
+    for (int i = 0; i < per_magnitude; ++i) {
+      const uint64_t hi = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+      values.push_back(rng() & hi);
+    }
+  }
+  return values;
+}
+
+TEST(VarintFuzzTest, RoundTripsEveryMagnitude) {
+  for (const uint64_t v : FuzzValues(11, 8)) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_LE(buf.size(), 10u);
+    size_t pos = 0;
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &got)) << v;
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(pos, buf.size()) << v;
+
+    const int64_t sv = static_cast<int64_t>(v);
+    std::string sbuf;
+    PutVarint64Signed(&sbuf, sv);
+    pos = 0;
+    int64_t sgot = 0;
+    ASSERT_TRUE(GetVarint64Signed(sbuf, &pos, &sgot)) << sv;
+    EXPECT_EQ(sgot, sv);
+  }
+}
+
+// Every strict prefix of an encoded varint must be rejected, and the
+// failed GetVarint64 must leave the cursor untouched (the byte-offset
+// errors of the Try* reads depend on that).
+TEST(VarintFuzzTest, TruncationRejectedWithoutCursorMovement) {
+  for (const uint64_t v : FuzzValues(13, 4)) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    for (size_t keep = 0; keep < buf.size(); ++keep) {
+      const std::string cut = buf.substr(0, keep);
+      size_t pos = 0;
+      uint64_t got = 0;
+      EXPECT_FALSE(GetVarint64(cut, &pos, &got)) << v << " keep=" << keep;
+      EXPECT_EQ(pos, 0u) << v << " keep=" << keep;
+    }
+  }
+}
+
+// A record mixing every Writer field type, round-tripped through the
+// Status-returning reads.
+TEST(SerdeFuzzTest, TryReadsRoundTripRandomRecords) {
+  std::mt19937_64 rng(17);
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t a = rng();
+    const int64_t b = static_cast<int64_t>(rng());
+    const uint8_t c = static_cast<uint8_t>(rng());
+    std::string blob(rng() % 40, '\0');
+    for (char& ch : blob) ch = static_cast<char>(rng());
+
+    Writer w;
+    w.WriteU64(a);
+    w.WriteI64(b);
+    w.WriteByte(c);
+    w.WriteBytes(blob);
+    const std::string bytes = w.Release();
+
+    Reader r(bytes);
+    uint64_t ga = 0;
+    int64_t gb = 0;
+    uint8_t gc = 0;
+    std::string gblob;
+    ASSERT_TRUE(r.TryReadU64(&ga).ok());
+    ASSERT_TRUE(r.TryReadI64(&gb).ok());
+    ASSERT_TRUE(r.TryReadByte(&gc).ok());
+    ASSERT_TRUE(r.TryReadBytes(&gblob).ok());
+    EXPECT_EQ(ga, a);
+    EXPECT_EQ(gb, b);
+    EXPECT_EQ(gc, c);
+    EXPECT_EQ(gblob, blob);
+    EXPECT_TRUE(r.AtEnd());
+
+    // Replay against every truncation: must terminate with a DataLoss
+    // whose offset is inside the buffer — never an abort, never success.
+    for (size_t keep = 0; keep < bytes.size(); ++keep) {
+      const std::string cut = bytes.substr(0, keep);
+      Reader tr(cut);
+      Status st = tr.TryReadU64(&ga);
+      if (st.ok()) st = tr.TryReadI64(&gb);
+      if (st.ok()) st = tr.TryReadByte(&gc);
+      if (st.ok()) st = tr.TryReadBytes(&gblob);
+      ASSERT_FALSE(st.ok()) << "round " << round << " keep=" << keep;
+      EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+      EXPECT_LE(tr.position(), cut.size());
+    }
+  }
+}
+
+// A length prefix pointing past the end of the buffer must not be
+// honored, and the cursor must rewind to the start of the field.
+TEST(SerdeFuzzTest, OverlongLengthPrefixRejected) {
+  Writer w;
+  w.WriteU64(1000000);  // length prefix promising a megabyte
+  w.WriteByte('x');
+  const std::string bytes = w.buffer();
+  Reader r(bytes);
+  std::string out;
+  const Status st = r.TryReadBytes(&out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(r.position(), 0u);  // offset names the field, not its tail
+}
+
+TEST(SerdeFuzzTest, TryReadIntervalMatchesWriteInterval) {
+  std::mt19937_64 rng(29);
+  std::vector<Interval> cases = {
+      Interval(3, 4),                    // unit
+      Interval(0, kTimeMax),             // full span
+      Interval(5, kTimeMax),             // open end
+      Interval(kTimeMin, 9),             // open start
+      Interval(2, 17),                   // generic
+  };
+  for (int i = 0; i < 100; ++i) {
+    const TimePoint s = static_cast<TimePoint>(rng() % 1000);
+    cases.push_back(Interval(s, s + 1 + static_cast<TimePoint>(rng() % 50)));
+  }
+  for (const Interval& iv : cases) {
+    Writer w;
+    WriteInterval(w, iv);
+    const std::string bytes = w.buffer();
+    Reader r(bytes);
+    Interval got;
+    ASSERT_TRUE(TryReadInterval(r, &got).ok());
+    EXPECT_EQ(got, iv);
+    EXPECT_TRUE(r.AtEnd());
+    for (size_t keep = 0; keep < bytes.size(); ++keep) {
+      const std::string cut = bytes.substr(0, keep);
+      Reader tr(cut);
+      EXPECT_FALSE(TryReadInterval(tr, &got).ok()) << "keep=" << keep;
+    }
+  }
+  // An unknown flag byte is DataLoss, not an abort.
+  const std::string bad_flag("\xee", 1);
+  Reader bad(bad_flag);
+  Interval got;
+  const Status st = TryReadInterval(bad, &got);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+}
+
+// Random frames through the checkpoint frame codec: round-trip plus
+// random mutations, which must never abort the process (DataLoss or a
+// well-formed — possibly different — frame are both acceptable).
+TEST(SerdeFuzzTest, CheckpointFrameFuzz) {
+  std::mt19937_64 rng(31);
+  for (int round = 0; round < 100; ++round) {
+    CheckpointFrame frame;
+    frame.superstep = static_cast<int>(rng() % 1000);
+    frame.num_units = rng() % 100000;
+    frame.counters = {static_cast<int64_t>(rng() % 1000),
+                      static_cast<int64_t>(rng()),
+                      static_cast<int64_t>(rng() % 977),
+                      static_cast<int64_t>(rng() % 10007),
+                      static_cast<int64_t>(rng() % 1000003),
+                      static_cast<int64_t>(rng() % 13),
+                      static_cast<int64_t>(rng() % 7)};
+    frame.sections.resize(rng() % 9);
+    for (std::string& s : frame.sections) {
+      s.resize(rng() % 120);
+      for (char& ch : s) ch = static_cast<char>(rng());
+    }
+
+    const std::string bytes = EncodeFrame(frame);
+    const auto got = DecodeFrame(bytes);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value().sections, frame.sections);
+    EXPECT_EQ(got.value().superstep, frame.superstep);
+
+    std::string mutated = bytes;
+    if (!mutated.empty()) {
+      mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+      const auto damaged = DecodeFrame(mutated);  // must not abort
+      if (!damaged.ok()) {
+        EXPECT_EQ(damaged.status().code(), StatusCode::kDataLoss);
+      }
+    }
+  }
+}
+
+// Writer::Clear decays its retained capacity: one pathological superstep
+// must not pin megabytes for the rest of a long run.
+TEST(WriterClearTest, HighWaterMarkDecayShrinksCapacity) {
+  Writer w;
+  const std::string big(1 << 20, 'x');
+  w.WriteBytes(big);
+  w.Clear();
+  const size_t peak = w.buffer().capacity();
+  EXPECT_GE(peak, big.size());
+
+  // A long tail of small supersteps: the decaying high-water mark drops
+  // 1/8 per Clear, so capacity must come back down within ~a hundred.
+  for (int i = 0; i < 150; ++i) {
+    w.WriteU64(123456);
+    w.Clear();
+  }
+  EXPECT_LT(w.buffer().capacity(), size_t{1} << 16)
+      << "capacity pinned at " << w.buffer().capacity();
+
+  // A new burst re-raises it instantly and the buffer still works.
+  w.WriteBytes(big);
+  EXPECT_EQ(w.size(), big.size() + VarintLength(big.size()));
+  Reader r(w.buffer());
+  std::string out;
+  ASSERT_TRUE(r.TryReadBytes(&out).ok());
+  EXPECT_EQ(out, big);
+}
+
+}  // namespace
+}  // namespace graphite
