@@ -1,0 +1,106 @@
+// Counting allocator hook for the allocation benchmarks: replaces the
+// global operator new/delete family with malloc-backed versions that bump
+// one atomic counter per heap allocation. AllocCount() deltas around a
+// code region give its exact allocation count — deterministic for
+// deterministic code, unlike timing.
+//
+// Usage: every bench binary is its own executable (bench/CMakeLists globs
+// one target per .cc), so the TU that wants the hook defines
+// GRAPHITE_ALLOC_COUNTER_IMPL before including this header, exactly once
+// per binary. Replacement operators must be ordinary non-inline
+// definitions ([replacement.functions]); without the macro this header
+// only declares the counter accessors.
+#ifndef GRAPHITE_BENCH_ALLOC_COUNTER_H_
+#define GRAPHITE_BENCH_ALLOC_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace graphite {
+namespace benchalloc {
+
+extern std::atomic<uint64_t> g_allocations;
+
+/// Heap allocations (operator new family) since process start.
+inline uint64_t AllocCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace benchalloc
+}  // namespace graphite
+
+#ifdef GRAPHITE_ALLOC_COUNTER_IMPL
+
+#include <cstdlib>
+#include <new>
+
+namespace graphite {
+namespace benchalloc {
+
+std::atomic<uint64_t> g_allocations{0};
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+}  // namespace benchalloc
+}  // namespace graphite
+
+void* operator new(std::size_t size) {
+  return graphite::benchalloc::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return graphite::benchalloc::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return graphite::benchalloc::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return graphite::benchalloc::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  graphite::benchalloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  graphite::benchalloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // GRAPHITE_ALLOC_COUNTER_IMPL
+
+#endif  // GRAPHITE_BENCH_ALLOC_COUNTER_H_

@@ -166,12 +166,10 @@ int main(int argc, char** argv) {
   std::printf("Stealing vs per-superstep spawn: %.2fx "
               "(target >=2x on an 8-core host)\n",
               speedup);
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "  \"skewed_powerlaw_pr\": {\"modes\": %s, "
-                "\"speedup_stealing_vs_spawn\": %.2f}\n",
-                JsonModes(samples).c_str(), speedup);
-  json += buf;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+  json += "  \"skewed_powerlaw_pr\": {\"modes\": " + JsonModes(samples) +
+          ", \"speedup_stealing_vs_spawn\": " + buf + "}\n";
   json += "}\n";
 
   std::ofstream out(json_path);

@@ -1,0 +1,317 @@
+// Before/after harness for the allocation-free hot path (DESIGN.md §4f):
+// measures the time-warp operator through the legacy vector-of-vectors API
+// versus the arena-backed flat SoA path, and the end-to-end ICM engine
+// (flat inboxes + per-thread warp arenas), on inboxes derived from the
+// Table-1 generator catalog. Heap allocations are counted exactly via the
+// replaced operator new (bench/alloc_counter.h); times are wall-clock.
+//
+// Output: a JSON report (default BENCH_warp_alloc.json in the working
+// directory). The committed copy at the repo root is the regression
+// baseline: tools/check_bench_regression.py compares the "gated" block of
+// a fresh run against it (ctest label `perf`). Allocation counts are
+// deterministic per build and gated unconditionally; timing keys are
+// enforced only in strict mode (GRAPHITE_PERF_STRICT=1 / --strict).
+//
+// Usage: bench_warp_alloc [scale] [out.json]
+// The committed baseline uses the default scale; regenerate it with:
+//     ./bench/bench_warp_alloc && cp BENCH_warp_alloc.json <repo root>
+#define GRAPHITE_ALLOC_COUNTER_IMPL
+#include "alloc_counter.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "icm/warp.h"
+#include "util/arena.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace graphite {
+namespace bench {
+namespace {
+
+using Entry = IntervalMap<int64_t>::Entry;
+using Item = TemporalItem<int64_t>;
+
+// Per-vertex warp inputs modeling one superstep's inboxes: messages are
+// the vertex's in-edges (interval = edge lifespan, payload synthetic) and
+// the outer set is its lifespan split into a few state runs — the shape
+// the ICM compute phase feeds the warp every superstep.
+struct WarpWorkload {
+  std::vector<std::vector<Entry>> outer;
+  std::vector<std::vector<Item>> msgs;
+  size_t total_msgs = 0;
+};
+
+constexpr size_t kMaxMsgsPerVertex = 128;
+
+WarpWorkload BuildWarpWorkload(const TemporalGraph& g, uint64_t seed) {
+  WarpWorkload wl;
+  const size_t n = g.num_vertices();
+  wl.outer.resize(n);
+  wl.msgs.resize(n);
+  Rng rng(seed);
+  for (VertexIdx v = 0; v < n; ++v) {
+    for (const StoredEdge& e : g.OutEdges(v)) {
+      auto& box = wl.msgs[e.dst];
+      if (box.size() >= kMaxMsgsPerVertex) continue;
+      box.push_back(
+          {e.interval, static_cast<int64_t>(rng.Uniform(1'000'000))});
+    }
+  }
+  for (VertexIdx v = 0; v < n; ++v) {
+    if (wl.msgs[v].empty()) continue;
+    wl.total_msgs += wl.msgs[v].size();
+    // Split the lifespan into up to 4 distinct-value state runs.
+    const Interval span = g.vertex_interval(v);
+    std::vector<TimePoint> cuts = {span.start, span.end};
+    for (int i = 0; i < 3; ++i) {
+      if (span.end - span.start > 1) {
+        cuts.push_back(rng.UniformRange(span.start + 1, span.end));
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      wl.outer[v].push_back({Interval(cuts[i], cuts[i + 1]),
+                             static_cast<int64_t>(10 * v + i)});
+    }
+  }
+  return wl;
+}
+
+struct PathStats {
+  double ns_per_superstep = 0;
+  double allocs_per_superstep = 0;
+  double ns_per_tuple = 0;
+  uint64_t tuples_per_superstep = 0;
+};
+
+constexpr int kWarmupSupersteps = 2;
+constexpr int kMeasuredSupersteps = 3;
+
+// Legacy path: the shim API returning std::vector<WarpTuple> with one
+// inner-index vector per tuple — the pre-SoA hot path.
+PathStats RunLegacy(const WarpWorkload& wl) {
+  PathStats st;
+  int64_t sink = 0;
+  auto superstep = [&]() -> uint64_t {
+    uint64_t tuples = 0;
+    for (size_t v = 0; v < wl.msgs.size(); ++v) {
+      if (wl.msgs[v].empty()) continue;
+      const auto out = TimeWarp<int64_t, int64_t>(wl.outer[v], wl.msgs[v]);
+      tuples += out.size();
+      for (const WarpTuple& t : out) {
+        for (const uint32_t idx : t.inner_indices) {
+          sink += wl.msgs[v][idx].value;
+        }
+      }
+    }
+    return tuples;
+  };
+  for (int s = 0; s < kWarmupSupersteps; ++s) superstep();
+  const uint64_t a0 = benchalloc::AllocCount();
+  const int64_t t0 = NowNanos();
+  uint64_t tuples = 0;
+  for (int s = 0; s < kMeasuredSupersteps; ++s) tuples += superstep();
+  const int64_t elapsed = NowNanos() - t0;
+  const uint64_t allocs = benchalloc::AllocCount() - a0;
+  st.ns_per_superstep = static_cast<double>(elapsed) / kMeasuredSupersteps;
+  st.allocs_per_superstep =
+      static_cast<double>(allocs) / kMeasuredSupersteps;
+  st.tuples_per_superstep = tuples / kMeasuredSupersteps;
+  st.ns_per_tuple =
+      tuples == 0 ? 0 : static_cast<double>(elapsed) / tuples;
+  if (sink == 42) std::fprintf(stderr, "!");  // keep the sink live
+  return st;
+}
+
+// Arena path: TimeWarpInto with per-"thread" scratch + SoA output, arena
+// reset at the superstep barrier — exactly the engine's steady-state loop.
+PathStats RunArena(const WarpWorkload& wl) {
+  PathStats st;
+  Arena arena;
+  WarpScratch scratch;
+  scratch.Attach(&arena);
+  WarpOutput out;
+  out.Attach(&arena);
+  int64_t sink = 0;
+  auto superstep = [&]() -> uint64_t {
+    uint64_t tuples = 0;
+    for (size_t v = 0; v < wl.msgs.size(); ++v) {
+      if (wl.msgs[v].empty()) continue;
+      TimeWarpInto<int64_t, int64_t>(wl.outer[v], wl.msgs[v], &scratch,
+                                     &out);
+      tuples += out.size();
+      for (const FlatWarpTuple& t : out.tuples()) {
+        for (const uint32_t idx : out.group(t)) {
+          sink += wl.msgs[v][idx].value;
+        }
+      }
+    }
+    // Superstep barrier: drop the arena-backed buffers, decay the arena.
+    scratch.Release();
+    out.Release();
+    arena.Reset();
+    return tuples;
+  };
+  for (int s = 0; s < kWarmupSupersteps; ++s) superstep();
+  const uint64_t a0 = benchalloc::AllocCount();
+  const int64_t t0 = NowNanos();
+  uint64_t tuples = 0;
+  for (int s = 0; s < kMeasuredSupersteps; ++s) tuples += superstep();
+  const int64_t elapsed = NowNanos() - t0;
+  const uint64_t allocs = benchalloc::AllocCount() - a0;
+  st.ns_per_superstep = static_cast<double>(elapsed) / kMeasuredSupersteps;
+  st.allocs_per_superstep =
+      static_cast<double>(allocs) / kMeasuredSupersteps;
+  st.tuples_per_superstep = tuples / kMeasuredSupersteps;
+  st.ns_per_tuple =
+      tuples == 0 ? 0 : static_cast<double>(elapsed) / tuples;
+  if (sink == 42) std::fprintf(stderr, "!");
+  return st;
+}
+
+struct EngineStats {
+  double wall_ms = 0;
+  double allocs_per_superstep = 0;
+  int64_t supersteps = 0;
+};
+
+// End-to-end ICM run (flat inboxes + arena-backed warp throughout),
+// sequential for deterministic allocation counts.
+EngineStats RunEngine(Workload& w, Algorithm a) {
+  RunConfig config;
+  config.num_workers = 4;
+  config.use_threads = false;
+  config.source = HubVertex(w.graph());
+  const uint64_t a0 = benchalloc::AllocCount();
+  const int64_t t0 = NowNanos();
+  const RunMetrics m = RunForMetrics(w, Platform::kIcm, a, config);
+  EngineStats st;
+  st.wall_ms = static_cast<double>(NowNanos() - t0) / 1e6;
+  st.supersteps = m.supersteps > 0 ? m.supersteps : 1;
+  st.allocs_per_superstep =
+      static_cast<double>(benchalloc::AllocCount() - a0) /
+      static_cast<double>(st.supersteps);
+  return st;
+}
+
+void JsonKV(std::string* out, const char* key, double value, bool last,
+            const char* better = nullptr, bool timing = false) {
+  char buf[256];
+  if (better == nullptr) {
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %.3f%s\n", key, value,
+                  last ? "" : ",");
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "    \"%s\": {\"value\": %.3f, \"better\": \"%s\", \"timing\": %s}%s\n",
+        key, value, better, timing ? "true" : "false", last ? "" : ",");
+  }
+  out->append(buf);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace graphite
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  using namespace graphite::bench;
+
+  const double scale = ResolveScale(argc, argv, 0.25);
+  const std::string out_path =
+      argc > 2 ? argv[2] : "BENCH_warp_alloc.json";
+
+  std::vector<BenchDataset> datasets = LoadCatalog(scale);
+
+  std::string detail;
+  double sum_legacy_allocs = 0, sum_soa_allocs = 0;
+  double sum_legacy_ns = 0, sum_soa_ns = 0;
+  uint64_t sum_tuples = 0;
+  double e2e_ms = 0, e2e_allocs = 0;
+  int64_t e2e_supersteps = 0;
+
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    BenchDataset& ds = datasets[d];
+    std::fprintf(stderr, "[warp] %s ...\n", ds.name.c_str());
+    const WarpWorkload wl = BuildWarpWorkload(ds.workload.graph(), 7 + d);
+    const PathStats legacy = RunLegacy(wl);
+    const PathStats soa = RunArena(wl);
+    sum_legacy_allocs += legacy.allocs_per_superstep;
+    sum_soa_allocs += soa.allocs_per_superstep;
+    sum_legacy_ns += legacy.ns_per_superstep;
+    sum_soa_ns += soa.ns_per_superstep;
+    sum_tuples += soa.tuples_per_superstep;
+
+    // End-to-end: one TI and one TD algorithm across the catalog.
+    const Algorithm algo =
+        d % 2 == 0 ? Algorithm::kBfs : Algorithm::kEat;
+    std::fprintf(stderr, "[icm ] %s %s ...\n", ds.name.c_str(),
+                 AlgorithmName(algo));
+    const EngineStats eng = RunEngine(ds.workload, algo);
+    e2e_ms += eng.wall_ms;
+    e2e_allocs += eng.allocs_per_superstep * eng.supersteps;
+    e2e_supersteps += eng.supersteps;
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"dataset\": \"%s\", \"messages\": %zu,\n"
+        "     \"legacy_allocs_per_superstep\": %.1f,"
+        " \"soa_allocs_per_superstep\": %.1f,\n"
+        "     \"legacy_ns_per_tuple\": %.1f, \"soa_ns_per_tuple\": %.1f,\n"
+        "     \"tuples_per_superstep\": %" PRIu64
+        ", \"icm_%s_wall_ms\": %.1f,"
+        " \"icm_allocs_per_superstep\": %.1f}%s\n",
+        ds.name.c_str(), wl.total_msgs, legacy.allocs_per_superstep,
+        soa.allocs_per_superstep, legacy.ns_per_tuple, soa.ns_per_tuple,
+        soa.tuples_per_superstep, AlgorithmName(algo), eng.wall_ms,
+        eng.allocs_per_superstep, d + 1 == datasets.size() ? "" : ",");
+    detail.append(buf);
+    ds.workload.DropDerived();
+  }
+
+  // Aggregates. The alloc ratio is the headline: >=2x fewer heap
+  // allocations per superstep is the acceptance floor; the SoA path is
+  // designed to reach zero in steady state (ratio bounded only by the +1).
+  const double alloc_ratio =
+      (sum_legacy_allocs + 1.0) / (sum_soa_allocs + 1.0);
+  const double legacy_ns_per_tuple =
+      sum_tuples == 0 ? 0 : sum_legacy_ns / static_cast<double>(sum_tuples);
+  const double soa_ns_per_tuple =
+      sum_tuples == 0 ? 0 : sum_soa_ns / static_cast<double>(sum_tuples);
+
+  std::string json = "{\n  \"bench\": \"bench_warp_alloc\",\n";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  \"scale\": %.3f,\n", scale);
+    json.append(buf);
+  }
+  json.append("  \"datasets\": [\n").append(detail).append("  ],\n");
+  json.append("  \"gated\": {\n");
+  JsonKV(&json, "warp_alloc_ratio", alloc_ratio, false, "higher", false);
+  JsonKV(&json, "warp_soa_allocs_per_superstep", sum_soa_allocs, false,
+         "lower", false);
+  JsonKV(&json, "warp_soa_ns_per_tuple", soa_ns_per_tuple, false, "lower",
+         true);
+  JsonKV(&json, "warp_legacy_ns_per_tuple", legacy_ns_per_tuple, false,
+         "lower", true);
+  JsonKV(&json, "icm_e2e_allocs_per_superstep",
+         e2e_supersteps == 0 ? 0 : e2e_allocs / e2e_supersteps, false,
+         "lower", false);
+  JsonKV(&json, "icm_e2e_wall_ms", e2e_ms, true, "lower", true);
+  json.append("  }\n}\n");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  GRAPHITE_CHECK(f != nullptr);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::printf("%s", json.c_str());
+  return 0;
+}

@@ -4,12 +4,22 @@
 //   * the interval-message codec (§VI: 59-78% message-size reduction vs
 //     fixed-width encoding),
 //   * IntervalMap::Set dynamic repartitioning.
+//
+// The warp benchmarks report ns_per_tuple and allocs_per_tuple (via the
+// counting allocator hook in alloc_counter.h) for both the legacy
+// vector-of-vectors API and the arena-backed SoA path, so the hot-path
+// allocation behavior is visible without the full bench_warp_alloc run.
+#define GRAPHITE_ALLOC_COUNTER_IMPL
+#include "alloc_counter.h"
+
 #include <benchmark/benchmark.h>
 
 #include "icm/message.h"
 #include "icm/warp.h"
 #include "temporal/interval_map.h"
+#include "util/arena.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace graphite {
 namespace {
@@ -45,13 +55,68 @@ void BM_TimeWarp(benchmark::State& state) {
   const int num_messages = static_cast<int>(state.range(1));
   const auto states = MakeStates(num_states, 1000, 1);
   const auto messages = MakeMessages(num_messages, 1000, 2);
+  uint64_t tuples = 0;
+  const uint64_t alloc0 = benchalloc::AllocCount();
+  const int64_t t0 = NowNanos();
   for (auto _ : state) {
     auto warp = TimeWarp<int64_t, int64_t>(states, messages);
+    tuples += warp.size();
     benchmark::DoNotOptimize(warp);
   }
+  const int64_t elapsed = NowNanos() - t0;
+  const uint64_t allocs = benchalloc::AllocCount() - alloc0;
   state.SetItemsProcessed(state.iterations() * num_messages);
+  if (tuples > 0) {
+    state.counters["ns_per_tuple"] =
+        static_cast<double>(elapsed) / static_cast<double>(tuples);
+    state.counters["allocs_per_tuple"] =
+        static_cast<double>(allocs) / static_cast<double>(tuples);
+  }
 }
 BENCHMARK(BM_TimeWarp)
+    ->Args({1, 8})
+    ->Args({1, 64})
+    ->Args({4, 64})
+    ->Args({16, 64})
+    ->Args({4, 512})
+    ->Args({16, 4096});
+
+// The engines' steady-state path: flat SoA output and sweep scratch out of
+// one arena, reset after each simulated superstep. allocs_per_tuple is
+// expected to be ~0 once the arena's high-water mark is warm.
+void BM_TimeWarpInto(benchmark::State& state) {
+  const int num_states = static_cast<int>(state.range(0));
+  const int num_messages = static_cast<int>(state.range(1));
+  const auto states = MakeStates(num_states, 1000, 1);
+  const auto messages = MakeMessages(num_messages, 1000, 2);
+  Arena arena;
+  WarpScratch scratch;
+  scratch.Attach(&arena);
+  WarpOutput out;
+  out.Attach(&arena);
+  uint64_t tuples = 0;
+  const uint64_t alloc0 = benchalloc::AllocCount();
+  const int64_t t0 = NowNanos();
+  for (auto _ : state) {
+    TimeWarpInto<int64_t, int64_t>(states, messages, &scratch, &out);
+    tuples += out.size();
+    benchmark::DoNotOptimize(out);
+    // Superstep barrier: release arena-backed buffers, decay the arena.
+    scratch.Release();
+    out.Release();
+    arena.Reset();
+  }
+  const int64_t elapsed = NowNanos() - t0;
+  const uint64_t allocs = benchalloc::AllocCount() - alloc0;
+  state.SetItemsProcessed(state.iterations() * num_messages);
+  if (tuples > 0) {
+    state.counters["ns_per_tuple"] =
+        static_cast<double>(elapsed) / static_cast<double>(tuples);
+    state.counters["allocs_per_tuple"] =
+        static_cast<double>(allocs) / static_cast<double>(tuples);
+  }
+}
+BENCHMARK(BM_TimeWarpInto)
     ->Args({1, 8})
     ->Args({1, 64})
     ->Args({4, 64})

@@ -1,0 +1,41 @@
+// The single tuning knob for every superstep-reused buffer that bounds its
+// retained capacity with a decaying high-water mark: the wire Writers
+// (Writer::Clear), the per-worker inbox/warp arenas (util/arena.h) and the
+// heap-backed inbox fallback (RecycledVec). One pathologically large
+// superstep must not pin its peak allocation for the rest of a long run,
+// but a sustained burst must not churn either — the same constants decide
+// both, so the engines age all their buffers at one rate.
+#ifndef GRAPHITE_ENGINE_BUFFER_TUNING_H_
+#define GRAPHITE_ENGINE_BUFFER_TUNING_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace graphite {
+
+struct BufferTuning {
+  /// The high-water mark drops by 1/kDecayDivisor per reset toward the
+  /// latest fill; a burst re-raises it instantly, a one-off spike fades in
+  /// a few dozen supersteps.
+  static constexpr size_t kDecayDivisor = 8;
+  /// Capacity slack every reset tolerates, so small buffers never churn.
+  static constexpr size_t kRetainBytes = 1024;
+  /// Shrink only once capacity exceeds kSlackFactor times the decayed mark
+  /// (plus the flat slack): reallocation is paid rarely, not every reset.
+  static constexpr size_t kSlackFactor = 4;
+
+  /// The decayed high-water mark after a reset that observed `latest_fill`.
+  static constexpr size_t Decay(size_t high_water, size_t latest_fill) {
+    return std::max(latest_fill, high_water - high_water / kDecayDivisor);
+  }
+
+  /// True when `capacity` has drifted far enough above the decayed mark
+  /// that shrinking back to `high_water` is worth a reallocation.
+  static constexpr bool ShouldShrink(size_t capacity, size_t high_water) {
+    return capacity > kSlackFactor * high_water + kRetainBytes;
+  }
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ENGINE_BUFFER_TUNING_H_

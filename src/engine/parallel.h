@@ -35,6 +35,7 @@
 
 #include "ckpt/checkpoint_policy.h"
 #include "engine/thread_pool.h"
+#include "util/arena.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -130,6 +131,7 @@ class SuperstepRuntime {
     if (pooled && num_threads_ > 1) {
       pool_ = std::make_unique<ThreadPool>(num_threads_);
     }
+    worker_arenas_ = std::vector<Arena>(num_workers);
   }
 
   int num_workers() const { return num_workers_; }
@@ -143,6 +145,15 @@ class SuperstepRuntime {
   std::pair<int, int> ChunkRange(int w) const {
     return {first_[w], first_[w + 1]};
   }
+
+  /// Logical worker w's superstep arena. Backs that worker's flat inbox
+  /// (filled by its exclusive delivery lane in the messaging phase, read
+  /// by the compute phase and checkpoint encode). The engine resets it at
+  /// each superstep barrier — never mid-phase: compute of worker w's
+  /// chunks may run on several OS threads at once, so per-worker arenas
+  /// must not back compute-phase scratch (that is what per-thread arenas
+  /// in the engines' scratch structs are for).
+  Arena& worker_arena(int w) { return worker_arenas_[w]; }
 
   /// Compute phase: runs body(chunk_index, chunk, thread_id) for every
   /// chunk. Per-thread phase durations go to *thread_ns (resized to
@@ -228,6 +239,7 @@ class SuperstepRuntime {
   std::vector<WorkChunk> chunks_;
   std::vector<int> first_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<Arena> worker_arenas_;
 };
 
 }  // namespace graphite

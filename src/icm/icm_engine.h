@@ -53,6 +53,7 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
 #include "ckpt/fault_injector.h"
+#include "engine/flat_inbox.h"
 #include "engine/message_traits.h"
 #include "engine/metrics.h"
 #include "engine/parallel.h"
@@ -282,11 +283,20 @@ class IcmEngine {
                         worker_sizes);
     const int num_chunks = rt.num_chunks();
 
-    std::vector<std::vector<Item>> inbox(n);
+    // Flat per-worker inboxes (engine/flat_inbox.h): each destination
+    // worker owns one contiguous arena-backed buffer; per-vertex message
+    // runs are (offset, count) spans handed to the warp as zero-copy
+    // views. Steady-state supersteps allocate nothing on this path.
+    InboxSpanTable inbox_spans(n);
+    std::vector<FlatInbox<Item>> inbox(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      inbox[w].Init(&rt.worker_arena(w), &inbox_spans);
+    }
     std::vector<uint8_t> has_mail(n, 0);
     // Vertices holding unconsumed mail, tracked per destination worker:
-    // the barrier clears exactly these inboxes (no O(n) scan), and each
-    // list is written only by its destination's delivery lane.
+    // the barrier clears exactly these inboxes (no O(n) scan), each list
+    // is written only by its destination's delivery lane, and the list
+    // doubles as the unit layout order for FlatInbox::Seal.
     std::vector<std::vector<VertexIdx>> mailed(num_workers);
     // Wire buffers, indexed [chunk][dst_worker]. Chunks split each logical
     // worker's vertex list contiguously, so reading a destination column
@@ -324,14 +334,16 @@ class IcmEngine {
           // Sections cover disjoint owned-vertex sets: decode in parallel.
           std::vector<int64_t> unused_ns;
           rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
-            DecodeSection(f.sections[w], &states, &has_mail, &inbox);
+            DecodeSection(f.sections[w], &states, &has_mail, &inbox[w]);
           });
           // Rebuild the per-destination mailed lists in owner order (their
-          // order only affects barrier clearing, not results).
+          // order only affects buffer layout and barrier clearing, not
+          // results), then group the decoded messages for compute.
           for (int w = 0; w < num_workers; ++w) {
             for (const VertexIdx v : vertices_by_worker[w]) {
               if (has_mail[v]) mailed[w].push_back(v);
             }
+            inbox[w].Seal(mailed[w]);
           }
           start_superstep = f.superstep;
           result.metrics.resumed_from = f.superstep;
@@ -378,7 +390,8 @@ class IcmEngine {
               const bool active =
                   superstep == 0 || options_.always_active || has_mail[v];
               if (!active) continue;
-              ProcessVertex(v, superstep, worker_of, inbox[v], &states[v],
+              ProcessVertex(v, superstep, worker_of,
+                            inbox[chunk.worker].MessagesFor(v), &states[v],
                             &wire[c], &counters[c], &scratch[thread]);
               // (wire[c] is this chunk's per-destination buffer row.)
             }
@@ -404,15 +417,20 @@ class IcmEngine {
         result.suppressed_vertices += counters[c].suppressed_vertices;
       }
 
-      // Barrier: clear only the inboxes that received mail last superstep.
+      // Barrier: drop the consumed flat inboxes (spans for exactly the
+      // mailed vertices — no O(n) scan) and reset every superstep arena.
+      // This is the ONLY point where arenas reset (see DESIGN.md §4f):
+      // compute has consumed the inboxes, and messaging below refills them
+      // for superstep+1, so a checkpoint encoded after messaging may still
+      // reference arena-backed storage.
       const int64_t barrier_t = NowNanos();
       for (int w = 0; w < num_workers; ++w) {
-        for (const VertexIdx v : mailed[w]) {
-          inbox[v].clear();
-          has_mail[v] = 0;
-        }
+        for (const VertexIdx v : mailed[w]) has_mail[v] = 0;
+        inbox[w].ResetAtBarrier(mailed[w]);
         mailed[w].clear();
+        rt.worker_arena(w).Reset();
       }
+      for (WorkerScratch& s : scratch) s.ResetAtBarrier();
       ss.barrier_ns = NowNanos() - barrier_t;
 
       // Messaging phase: each destination worker deserializes its own wire
@@ -436,7 +454,7 @@ class IcmEngine {
               const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
               Interval iv = ReadInterval(reader);
               Message msg = MessageTraits<Message>::Read(reader);
-              inbox[unit].push_back({iv, std::move(msg)});
+              inbox[dst].Deliver(unit, {iv, std::move(msg)});
               if (!has_mail[unit]) {
                 has_mail[unit] = 1;
                 mailed[dst].push_back(unit);
@@ -446,6 +464,9 @@ class IcmEngine {
             buf.Clear();
           }
         }
+        // Group this worker's staged messages by vertex: per-vertex runs
+        // become spans for the next compute phase (and checkpoint encode).
+        inbox[dst].Seal(mailed[dst]);
       });
       ss.messaging_ns = NowNanos() - msg_t;
       bool any_message = false;
@@ -481,8 +502,8 @@ class IcmEngine {
           // on the run's pool.
           std::vector<int64_t> unused_ns;
           rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
-            frame.sections[w] =
-                EncodeSection(vertices_by_worker[w], states, has_mail, inbox);
+            frame.sections[w] = EncodeSection(vertices_by_worker[w], states,
+                                              has_mail, inbox[w]);
           });
           const Status committed =
               store->Commit(frame.superstep, EncodeFrame(frame));
@@ -514,7 +535,7 @@ class IcmEngine {
   std::string EncodeSection(const std::vector<VertexIdx>& mine,
                             const std::vector<IntervalMap<State>>& states,
                             const std::vector<uint8_t>& has_mail,
-                            const std::vector<std::vector<Item>>& inbox) const {
+                            const FlatInbox<Item>& inbox) const {
     Writer w;
     for (const VertexIdx v : mine) {
       w.WriteU64(v);
@@ -524,8 +545,8 @@ class IcmEngine {
         WriteInterval(w, e.interval);
         MessageTraits<State>::Write(w, e.value);
       }
-      w.WriteU64(inbox[v].size());
-      for (const Item& m : inbox[v]) {
+      w.WriteU64(inbox.CountFor(v));
+      for (const Item& m : inbox.MessagesFor(v)) {
         WriteInterval(w, m.interval);
         MessageTraits<Message>::Write(w, m.value);
       }
@@ -537,10 +558,12 @@ class IcmEngine {
   /// bytes, so reads are the fast aborting kind. States are adopted
   /// verbatim (FromEntries) — rebuilding via Set() would both be quadratic
   /// and risk a different (coalesced) partition than the one persisted.
+  /// Messages are staged into the owning worker's flat inbox in section
+  /// order; the caller Seals after rebuilding the mailed lists.
   void DecodeSection(const std::string& bytes,
                      std::vector<IntervalMap<State>>* states,
                      std::vector<uint8_t>* has_mail,
-                     std::vector<std::vector<Item>>* inbox) const {
+                     FlatInbox<Item>* inbox) const {
     Reader r(bytes);
     while (!r.AtEnd()) {
       const VertexIdx v = static_cast<VertexIdx>(r.ReadU64());
@@ -555,12 +578,9 @@ class IcmEngine {
       }
       (*states)[v] = IntervalMap<State>::FromEntries(std::move(entries));
       const uint64_t num_msgs = r.ReadU64();
-      std::vector<Item>& box = (*inbox)[v];
-      box.clear();
-      box.reserve(num_msgs);
       for (uint64_t i = 0; i < num_msgs; ++i) {
         const Interval iv = ReadInterval(r);
-        box.push_back({iv, MessageTraits<Message>::Read(r)});
+        inbox->Deliver(v, {iv, MessageTraits<Message>::Read(r)});
       }
     }
   }
@@ -573,8 +593,28 @@ class IcmEngine {
     int64_t suppressed_vertices = 0;
   };
 
-  // Reused per-worker buffers to avoid per-vertex allocation churn.
+  // Reused per-OS-thread buffers: no per-vertex allocation churn, and the
+  // warp sweep state + SoA output live in a per-thread arena (per-worker
+  // arenas cannot back these — two chunks of one logical worker may run
+  // on different threads under stealing). The arena resets at superstep
+  // barriers only, like the inbox arenas.
   struct WorkerScratch {
+    WorkerScratch() {
+      warp_scratch.Attach(&arena);
+      warp.Attach(&arena);
+      warp_combined.Attach(&arena);
+    }
+    void ResetAtBarrier() {
+      warp_scratch.Release();
+      warp.Release();
+      warp_combined.Release();
+      arena.Reset();
+    }
+
+    Arena arena;                          // backs the warp members below
+    WarpScratch warp_scratch;             // sweep events / live set
+    WarpOutput warp;                      // flat SoA warp tuples
+    SuperstepVec<CombinedWarpTuple<Message>> warp_combined;
     std::vector<StateEntry> outer;        // state snapshot for warp
     std::vector<Message> group;           // materialized message group
     IntervalMap<State> updated;           // intervals written by SetState
@@ -584,7 +624,7 @@ class IcmEngine {
 
   void ProcessVertex(VertexIdx v, int superstep,
                      const std::vector<int>& worker_of,
-                     const std::vector<Item>& msgs, IntervalMap<State>* states,
+                     std::span<const Item> msgs, IntervalMap<State>* states,
                      std::vector<Writer>* wire_row, WorkerCounters* counters,
                      WorkerScratch* scratch) {
     scratch->updated.clear();
@@ -628,7 +668,7 @@ class IcmEngine {
                  scratch);
   }
 
-  bool ShouldSuppress(const std::vector<Item>& msgs) const {
+  bool ShouldSuppress(std::span<const Item> msgs) const {
     size_t unit = 0;
     for (const Item& m : msgs) {
       // Unbounded intervals cannot be expanded per time-point; their
@@ -645,8 +685,7 @@ class IcmEngine {
   // Normal path: time-warp the partitioned states with the inbox, then one
   // Compute per output tuple. With a combiner, each group is folded to a
   // single payload as the tuples are consumed.
-  void ComputeWarped(IcmVertexContext<Program>* ctx,
-                     const std::vector<Item>& msgs,
+  void ComputeWarped(IcmVertexContext<Program>* ctx, std::span<const Item> msgs,
                      IntervalMap<State>* states, WorkerCounters* counters,
                      WorkerScratch* scratch) {
     // Snapshot the partition: SetState during the loop repartitions the
@@ -691,13 +730,15 @@ class IcmEngine {
     // separate group-scan pass exist.
     if constexpr (IcmHasCombiner<Program>) {
       if (options_.enable_combiner) {
-        const auto tuples = TimeWarpCombine<State, Message>(
-            std::span<const StateEntry>(scratch->outer),
-            std::span<const Item>(msgs),
+        auto& tuples = scratch->warp_combined;
+        TimeWarpCombineInto<State, Message>(
+            std::span<const StateEntry>(scratch->outer), msgs,
             [](const Message& a, const Message& b) {
               return Program::Combine(a, b);
-            });
-        for (const auto& t : tuples) {
+            },
+            &scratch->warp_scratch, &tuples);
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          const CombinedWarpTuple<Message>& t = tuples[i];
           if (gap_fill && t.interval.start > cursor) {
             EmitGapCalls(Interval(cursor, t.interval.start), scratch,
                          run_compute);
@@ -716,16 +757,18 @@ class IcmEngine {
     }
 
     // Walk the tuples in temporal order; in always-active mode the
-    // uncovered gaps between them get empty-group Compute calls.
-    const std::vector<WarpTuple> tuples = TimeWarp<State, Message>(
-        std::span<const StateEntry>(scratch->outer),
-        std::span<const Item>(msgs));
-    for (const WarpTuple& t : tuples) {
+    // uncovered gaps between them get empty-group Compute calls. Output is
+    // the flat SoA form: one shared index pool, (offset, count) per tuple.
+    WarpOutput& warped = scratch->warp;
+    TimeWarpInto<State, Message>(std::span<const StateEntry>(scratch->outer),
+                                 msgs, &scratch->warp_scratch, &warped);
+    for (size_t i = 0; i < warped.size(); ++i) {
+      const FlatWarpTuple& t = warped[i];
       if (gap_fill && t.interval.start > cursor) {
         EmitGapCalls(Interval(cursor, t.interval.start), scratch, run_compute);
       }
       scratch->group.clear();
-      for (uint32_t idx : t.inner_indices) {
+      for (uint32_t idx : warped.group(t)) {
         scratch->group.push_back(msgs[idx].value);
       }
       run_compute(t.interval, scratch->outer[t.outer_index].value,
@@ -760,7 +803,7 @@ class IcmEngine {
   // more Compute calls, which the paper accepts in exchange for skipping
   // the warp's sort-merge on unit-dominated inboxes.
   void ComputeSuppressed(IcmVertexContext<Program>* ctx,
-                         const std::vector<Item>& msgs,
+                         std::span<const Item> msgs,
                          IntervalMap<State>* states, WorkerCounters* counters,
                          WorkerScratch* scratch) {
     // Sort message indices by start; a sliding window then yields the live

@@ -19,6 +19,23 @@
 // The implementation is a plane sweep over endpoint events (the merge
 // step of the paper's merge-sort aggregation [26]): O(m log m) time and
 // O(m) space for m inner items, plus output.
+//
+// Hot-path layout: the engines call the allocation-free *Into entry
+// points. Warp output is a flat structure-of-arrays (WarpOutput) — one
+// shared inner-index pool with an (offset, count) span per tuple instead
+// of a vector-of-vectors — and all sweep state lives in arena-backed
+// scratch (WarpScratch) that is reused across vertices and reclaimed at
+// superstep barriers. The maximality merge (Property 4) happens in place
+// at emission time: a slice that extends the previous tuple just bumps
+// its end, so merged tuples are never materialized twice. Every group
+// span lists inner indices in arrival (inbox) order, including after
+// merges — merging keeps the earlier tuple's group, which is itself
+// arrival-ordered (tests/warp_test.cc pins this guarantee).
+//
+// The original allocating API (TimeWarp / TimeWarpCombine returning
+// std::vector) remains as a thin shim over the *Into forms: it is the
+// measured "vector-of-vectors" baseline of bench/bench_warp_alloc and the
+// second API exercised by the property tests.
 #ifndef GRAPHITE_ICM_WARP_H_
 #define GRAPHITE_ICM_WARP_H_
 
@@ -28,6 +45,7 @@
 
 #include "temporal/interval.h"
 #include "temporal/interval_map.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace graphite {
@@ -51,13 +69,27 @@ struct TimeJoinTuple {
   uint32_t inner_index;   ///< Index into the inner set.
 };
 
-/// One output triple of the time-warp: a maximal sub-interval, the outer
-/// value live there (by index), and the group of inner values live there
-/// (by index, in arrival order).
+/// One output triple of the time-warp in the legacy allocating API: a
+/// maximal sub-interval, the outer value live there (by index), and the
+/// group of inner values live there (by index, in arrival order).
 struct WarpTuple {
   Interval interval;
   uint32_t outer_index = 0;
   std::vector<uint32_t> inner_indices;
+};
+
+/// An (offset, count) span into WarpOutput's shared inner-index pool.
+struct WarpGroup {
+  uint32_t offset = 0;
+  uint32_t count = 0;
+};
+
+/// One output triple of the flat time-warp; the group indices live in the
+/// owning WarpOutput's pool.
+struct FlatWarpTuple {
+  Interval interval;
+  uint32_t outer_index = 0;
+  WarpGroup group;
 };
 
 /// Time-join: all pairwise intersections, ordered by (outer, inner) index.
@@ -88,107 +120,185 @@ struct Event {
 
 }  // namespace warp_internal
 
-/// Time-warp over a temporally partitioned outer set and an arbitrary
-/// inner set. `state_equal(i, j)` compares outer values and
-/// `group_equal(a, b)` compares message groups (vectors of inner indices)
-/// by value — both are needed only for the maximality merge.
-///
-/// The generic entry point below (TimeWarp) supplies equality from
-/// operator== on the value types; engines with combiners use this raw form
-/// to fold groups on the fly.
-template <typename S, typename M>
-std::vector<WarpTuple> TimeWarp(
-    std::span<const typename IntervalMap<S>::Entry> outer,
-    std::span<const TemporalItem<M>> inner) {
-  std::vector<WarpTuple> out;
-  if (outer.empty() || inner.empty()) return out;
-
-  // Sort inner items by start once; entries of `outer` are already ordered
-  // and disjoint, so we can advance a window over the inner set.
-  std::vector<uint32_t> by_start(inner.size());
-  for (uint32_t j = 0; j < inner.size(); ++j) by_start[j] = j;
-  std::sort(by_start.begin(), by_start.end(), [&](uint32_t a, uint32_t b) {
-    if (inner[a].interval.start != inner[b].interval.start) {
-      return inner[a].interval.start < inner[b].interval.start;
-    }
-    return a < b;
-  });
-
-  std::vector<warp_internal::Event> events;
-  for (const auto& entry : outer) {
-    GRAPHITE_CHECK(entry.interval.IsValid());
-    // Collect boundary events of inner items clipped to this outer entry.
-    events.clear();
-    for (uint32_t j : by_start) {
-      const Interval clipped = inner[j].interval.Intersect(entry.interval);
-      if (clipped.IsEmpty()) {
-        if (inner[j].interval.start >= entry.interval.end) break;
-        continue;
-      }
-      events.push_back({clipped.start, j, true});
-      events.push_back({clipped.end, j, false});
-    }
-    if (events.empty()) continue;
-    std::sort(events.begin(), events.end(),
-              [](const warp_internal::Event& a,
-                 const warp_internal::Event& b) {
-                if (a.time != b.time) return a.time < b.time;
-                // Ends before starts so zero-length gaps do not arise;
-                // ties otherwise keep arrival order.
-                if (a.is_start != b.is_start) return !a.is_start;
-                return a.index < b.index;
-              });
-
-    // Sweep: between consecutive distinct event times, the live group is
-    // constant; emit one tuple per non-empty slice.
-    std::vector<uint32_t> live;  // inner indices, kept in arrival order
-    const uint32_t outer_index =
-        static_cast<uint32_t>(&entry - outer.data());
-    size_t k = 0;
-    TimePoint prev = events.front().time;
-    while (k < events.size()) {
-      const TimePoint now = events[k].time;
-      if (now > prev && !live.empty()) {
-        WarpTuple tuple;
-        tuple.interval = Interval(prev, now);
-        tuple.outer_index = outer_index;
-        tuple.inner_indices = live;
-        out.push_back(std::move(tuple));
-      }
-      while (k < events.size() && events[k].time == now) {
-        const auto& ev = events[k];
-        if (ev.is_start) {
-          auto pos = std::lower_bound(live.begin(), live.end(), ev.index);
-          live.insert(pos, ev.index);
-        } else {
-          auto pos = std::lower_bound(live.begin(), live.end(), ev.index);
-          GRAPHITE_CHECK(pos != live.end() && *pos == ev.index);
-          live.erase(pos);
-        }
-        ++k;
-      }
-      prev = now;
-    }
-    GRAPHITE_CHECK(live.empty());
+/// Reusable sweep state shared by every warp invocation of one OS thread.
+/// All buffers are arena-backed; the owner resets the arena at superstep
+/// barriers (after Release).
+struct WarpScratch {
+  void Attach(Arena* arena) {
+    by_start.Attach(arena);
+    events.Attach(arena);
+    live.Attach(arena);
+    used.Attach(arena);
+  }
+  void Release() {
+    by_start.Release();
+    events.Release();
+    live.Release();
+    used.Release();
   }
 
-  // Maximality merge: adjacent tuples with equal outer value and equal
-  // message group (compared by value, per the formal definition) coalesce.
-  std::vector<WarpTuple> merged;
-  merged.reserve(out.size());
-  // Multiset equality of the groups' message values (only == required of
-  // the payload type). Groups are small, so the quadratic matching is
-  // cheaper than hashing or sorting payloads.
-  std::vector<char> used;
-  auto groups_equal = [&](const WarpTuple& a, const WarpTuple& b) {
-    if (a.inner_indices.size() != b.inner_indices.size()) return false;
-    used.assign(b.inner_indices.size(), 0);
-    for (uint32_t ai : a.inner_indices) {
+  ArenaVec<uint32_t> by_start;            ///< inner indices by start time
+  ArenaVec<warp_internal::Event> events;  ///< per-outer-entry endpoints
+  ArenaVec<uint32_t> live;                ///< live group, ascending index
+  ArenaVec<char> used;                    ///< multiset-match scratch
+};
+
+/// Flat structure-of-arrays warp output: tuples plus one shared pool of
+/// inner indices addressed by per-tuple (offset, count) spans. Reused
+/// across vertices (clear) within a superstep; storage is reclaimed by
+/// the backing arena at barriers (Release).
+class WarpOutput {
+ public:
+  void Attach(Arena* arena) {
+    tuples_.Attach(arena);
+    pool_.Attach(arena);
+  }
+  void Release() {
+    tuples_.Release();
+    pool_.Release();
+  }
+  void clear() {
+    tuples_.clear();
+    pool_.clear();
+  }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const FlatWarpTuple& operator[](size_t i) const { return tuples_[i]; }
+  std::span<const FlatWarpTuple> tuples() const { return tuples_.span(); }
+
+  /// The tuple's group of inner indices, in arrival order.
+  std::span<const uint32_t> group(const FlatWarpTuple& t) const {
+    return pool_.subspan(t.group.offset, t.group.count);
+  }
+  std::span<const uint32_t> group(size_t i) const {
+    return group(tuples_[i]);
+  }
+
+  /// Sweep-internal: appends a tuple whose group is the live set.
+  void Emit(const Interval& interval, uint32_t outer_index,
+            std::span<const uint32_t> live) {
+    tuples_.push_back({interval, outer_index,
+                       {static_cast<uint32_t>(pool_.size()),
+                        static_cast<uint32_t>(live.size())}});
+    pool_.Append(live.data(), live.size());
+  }
+  /// Sweep-internal: the previously emitted tuple, or nullptr.
+  FlatWarpTuple* last() {
+    return tuples_.empty() ? nullptr : &tuples_.back();
+  }
+
+ private:
+  ArenaVec<FlatWarpTuple> tuples_;
+  ArenaVec<uint32_t> pool_;
+};
+
+namespace warp_internal {
+
+/// Fills scratch->by_start with inner indices ordered by interval start
+/// (ties by index, i.e. arrival order).
+template <typename M>
+void SortByStart(std::span<const TemporalItem<M>> inner,
+                 WarpScratch* scratch) {
+  auto& by_start = scratch->by_start;
+  by_start.clear();
+  for (uint32_t j = 0; j < inner.size(); ++j) by_start.push_back(j);
+  std::sort(by_start.data(), by_start.data() + by_start.size(),
+            [&](uint32_t a, uint32_t b) {
+              if (inner[a].interval.start != inner[b].interval.start) {
+                return inner[a].interval.start < inner[b].interval.start;
+              }
+              return a < b;
+            });
+}
+
+/// Collects and orders the boundary events of inner items clipped to
+/// `entry_interval`. Ends sort before starts so zero-length gaps do not
+/// arise; ties otherwise keep arrival order.
+template <typename M>
+void CollectEvents(std::span<const TemporalItem<M>> inner,
+                   const Interval& entry_interval, WarpScratch* scratch) {
+  auto& events = scratch->events;
+  events.clear();
+  for (const uint32_t j : scratch->by_start.span()) {
+    const Interval clipped = inner[j].interval.Intersect(entry_interval);
+    if (clipped.IsEmpty()) {
+      if (inner[j].interval.start >= entry_interval.end) break;
+      continue;
+    }
+    events.push_back({clipped.start, j, true});
+    events.push_back({clipped.end, j, false});
+  }
+  std::sort(events.data(), events.data() + events.size(),
+            [](const Event& a, const Event& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.is_start != b.is_start) return !a.is_start;
+              return a.index < b.index;
+            });
+}
+
+/// Applies all events at the head of the queue sharing one time-point to
+/// the live set (kept in ascending index = arrival order). Returns the
+/// next unprocessed event position.
+inline size_t ApplyEventsAt(const ArenaVec<Event>& events, size_t k,
+                            TimePoint now, ArenaVec<uint32_t>* live) {
+  while (k < events.size() && events[k].time == now) {
+    const Event& ev = events[k];
+    const uint32_t* begin = live->data();
+    const uint32_t* pos =
+        std::lower_bound(begin, begin + live->size(), ev.index);
+    if (ev.is_start) {
+      live->InsertAt(static_cast<size_t>(pos - begin), ev.index);
+    } else {
+      GRAPHITE_CHECK(pos != begin + live->size() && *pos == ev.index);
+      live->EraseAt(static_cast<size_t>(pos - begin));
+    }
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace warp_internal
+
+/// Time-warp over a temporally partitioned outer set and an arbitrary
+/// inner set, into flat SoA output. Steady-state allocation-free: sweep
+/// state and output grow out of the scratch/output arenas, which the
+/// caller resets at superstep barriers.
+///
+/// The maximality merge (Property 4) is applied at emission time: a slice
+/// whose (state value, message-value multiset) matches the previous tuple
+/// and meets it in time extends that tuple in place. This is equivalent
+/// to the formal post-pass merge because tuples are emitted in temporal
+/// order and merging keeps the earlier tuple's (arrival-ordered) group.
+template <typename S, typename M>
+void TimeWarpInto(std::span<const typename IntervalMap<S>::Entry> outer,
+                  std::span<const TemporalItem<M>> inner,
+                  WarpScratch* scratch, WarpOutput* out) {
+  out->clear();
+  if (outer.empty() || inner.empty()) return;
+  warp_internal::SortByStart(inner, scratch);
+
+  auto& live = scratch->live;
+  // Multiset equality of the previous tuple's group and the live set, by
+  // message value (only == required of the payload type). Groups are
+  // small, so the quadratic matching is cheaper than hashing or sorting
+  // payloads.
+  auto mergeable = [&](const FlatWarpTuple& prev, const Interval& slice,
+                       uint32_t outer_index,
+                       std::span<const uint32_t> prev_group) {
+    if (!prev.interval.Meets(slice)) return false;
+    if (!(outer[prev.outer_index].value == outer[outer_index].value)) {
+      return false;
+    }
+    if (prev_group.size() != live.size()) return false;
+    auto& used = scratch->used;
+    used.clear();
+    for (size_t j = 0; j < live.size(); ++j) used.push_back(0);
+    for (const uint32_t ai : prev_group) {
       bool matched = false;
-      for (size_t j = 0; j < b.inner_indices.size(); ++j) {
+      for (size_t j = 0; j < live.size(); ++j) {
         if (used[j]) continue;
-        if (ai == b.inner_indices[j] ||
-            inner[ai].value == inner[b.inner_indices[j]].value) {
+        if (ai == live[j] || inner[ai].value == inner[live[j]].value) {
           used[j] = 1;
           matched = true;
           break;
@@ -198,19 +308,61 @@ std::vector<WarpTuple> TimeWarp(
     }
     return true;
   };
-  for (WarpTuple& t : out) {
-    if (!merged.empty()) {
-      WarpTuple& prev = merged.back();
-      if (prev.interval.Meets(t.interval) &&
-          outer[prev.outer_index].value == outer[t.outer_index].value &&
-          groups_equal(prev, t)) {
-        prev.interval.end = t.interval.end;
-        continue;
+
+  for (const auto& entry : outer) {
+    GRAPHITE_CHECK(entry.interval.IsValid());
+    warp_internal::CollectEvents(inner, entry.interval, scratch);
+    const auto& events = scratch->events;
+    if (events.empty()) continue;
+    live.clear();
+    const uint32_t outer_index =
+        static_cast<uint32_t>(&entry - outer.data());
+
+    // Sweep: between consecutive distinct event times, the live group is
+    // constant; emit one tuple per non-empty slice, merging in place.
+    size_t k = 0;
+    TimePoint prev_t = events[0].time;
+    while (k < events.size()) {
+      const TimePoint now = events[k].time;
+      if (now > prev_t && !live.empty()) {
+        const Interval slice(prev_t, now);
+        FlatWarpTuple* last = out->last();
+        if (last != nullptr &&
+            mergeable(*last, slice, outer_index, out->group(*last))) {
+          last->interval.end = now;
+        } else {
+          out->Emit(slice, outer_index, live.span());
+        }
       }
+      k = warp_internal::ApplyEventsAt(events, k, now, &live);
+      prev_t = now;
     }
-    merged.push_back(std::move(t));
+    GRAPHITE_CHECK(live.empty());
   }
-  return merged;
+}
+
+/// Legacy allocating time-warp: the vector-of-vectors API kept as a shim
+/// over TimeWarpInto for tests, callers outside the superstep hot path,
+/// and as the measured baseline of bench/bench_warp_alloc.
+template <typename S, typename M>
+std::vector<WarpTuple> TimeWarp(
+    std::span<const typename IntervalMap<S>::Entry> outer,
+    std::span<const TemporalItem<M>> inner) {
+  Arena arena;
+  WarpScratch scratch;
+  scratch.Attach(&arena);
+  WarpOutput flat;
+  flat.Attach(&arena);
+  TimeWarpInto<S, M>(outer, inner, &scratch, &flat);
+
+  std::vector<WarpTuple> out;
+  out.reserve(flat.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const std::span<const uint32_t> group = flat.group(i);
+    out.push_back({flat[i].interval, flat[i].outer_index,
+                   std::vector<uint32_t>(group.begin(), group.end())});
+  }
+  return out;
 }
 
 /// One output triple of the combining time-warp: the message group is
@@ -224,100 +376,79 @@ struct CombinedWarpTuple {
   uint32_t group_size = 0;
 };
 
-/// Time-warp with an inline combiner: identical slicing to TimeWarp, but
-/// each tuple carries fold(combine, values of the live group). The
-/// maximality merge coalesces adjacent tuples with equal state value and
-/// equal combined payload — the compute call sequence is exactly what the
-/// non-combining warp plus a post-fold would produce for
+/// Time-warp with an inline combiner, into a reused output vector
+/// (SuperstepVec<CombinedWarpTuple<M>> in the engines; any container with
+/// the same interface works). Identical slicing to TimeWarpInto, but each
+/// tuple carries fold(combine, values of the live group). The maximality
+/// merge coalesces — in place, at emission — adjacent tuples with equal
+/// state value and equal combined payload: the compute call sequence is
+/// exactly what the non-combining warp plus a post-fold would produce for
 /// commutative/associative combiners.
+template <typename S, typename M, typename Combine, typename OutVec>
+void TimeWarpCombineInto(
+    std::span<const typename IntervalMap<S>::Entry> outer,
+    std::span<const TemporalItem<M>> inner, Combine&& combine,
+    WarpScratch* scratch, OutVec* out) {
+  out->clear();
+  if (outer.empty() || inner.empty()) return;
+  warp_internal::SortByStart(inner, scratch);
+
+  auto& live = scratch->live;
+  for (const auto& entry : outer) {
+    GRAPHITE_CHECK(entry.interval.IsValid());
+    warp_internal::CollectEvents(inner, entry.interval, scratch);
+    const auto& events = scratch->events;
+    if (events.empty()) continue;
+    live.clear();
+    const uint32_t outer_index =
+        static_cast<uint32_t>(&entry - outer.data());
+
+    size_t k = 0;
+    TimePoint prev_t = events[0].time;
+    while (k < events.size()) {
+      const TimePoint now = events[k].time;
+      if (now > prev_t && !live.empty()) {
+        const Interval slice(prev_t, now);
+        M folded = inner[live[0]].value;
+        for (size_t i = 1; i < live.size(); ++i) {
+          folded = combine(folded, inner[live[i]].value);
+        }
+        CombinedWarpTuple<M>* last =
+            out->empty() ? nullptr : &out->back();
+        if (last != nullptr && last->interval.Meets(slice) &&
+            outer[last->outer_index].value == outer[outer_index].value &&
+            last->combined == folded) {
+          last->interval.end = now;
+          last->group_size += static_cast<uint32_t>(live.size());
+        } else {
+          out->push_back({slice, outer_index, std::move(folded),
+                          static_cast<uint32_t>(live.size())});
+        }
+      }
+      k = warp_internal::ApplyEventsAt(events, k, now, &live);
+      prev_t = now;
+    }
+    GRAPHITE_CHECK(live.empty());
+  }
+}
+
+/// Legacy allocating combine-warp shim (tests and non-hot-path callers).
 template <typename S, typename M, typename Combine>
 std::vector<CombinedWarpTuple<M>> TimeWarpCombine(
     std::span<const typename IntervalMap<S>::Entry> outer,
     std::span<const TemporalItem<M>> inner, Combine&& combine) {
+  Arena arena;
+  WarpScratch scratch;
+  scratch.Attach(&arena);
+  SuperstepVec<CombinedWarpTuple<M>> flat;
+  flat.Attach(&arena);
+  TimeWarpCombineInto<S, M>(outer, inner,
+                            std::forward<Combine>(combine), &scratch,
+                            &flat);
   std::vector<CombinedWarpTuple<M>> out;
-  if (outer.empty() || inner.empty()) return out;
-
-  std::vector<uint32_t> by_start(inner.size());
-  for (uint32_t j = 0; j < inner.size(); ++j) by_start[j] = j;
-  std::sort(by_start.begin(), by_start.end(), [&](uint32_t a, uint32_t b) {
-    if (inner[a].interval.start != inner[b].interval.start) {
-      return inner[a].interval.start < inner[b].interval.start;
-    }
-    return a < b;
-  });
-
-  std::vector<warp_internal::Event> events;
-  std::vector<uint32_t> live;
-  for (const auto& entry : outer) {
-    GRAPHITE_CHECK(entry.interval.IsValid());
-    events.clear();
-    for (uint32_t j : by_start) {
-      const Interval clipped = inner[j].interval.Intersect(entry.interval);
-      if (clipped.IsEmpty()) {
-        if (inner[j].interval.start >= entry.interval.end) break;
-        continue;
-      }
-      events.push_back({clipped.start, j, true});
-      events.push_back({clipped.end, j, false});
-    }
-    if (events.empty()) continue;
-    std::sort(events.begin(), events.end(),
-              [](const warp_internal::Event& a,
-                 const warp_internal::Event& b) {
-                if (a.time != b.time) return a.time < b.time;
-                if (a.is_start != b.is_start) return !a.is_start;
-                return a.index < b.index;
-              });
-    live.clear();
-    const uint32_t outer_index = static_cast<uint32_t>(&entry - outer.data());
-    size_t k = 0;
-    TimePoint prev = events.front().time;
-    while (k < events.size()) {
-      const TimePoint now = events[k].time;
-      if (now > prev && !live.empty()) {
-        CombinedWarpTuple<M> tuple;
-        tuple.interval = Interval(prev, now);
-        tuple.outer_index = outer_index;
-        tuple.combined = inner[live[0]].value;
-        for (size_t i = 1; i < live.size(); ++i) {
-          tuple.combined = combine(tuple.combined, inner[live[i]].value);
-        }
-        tuple.group_size = static_cast<uint32_t>(live.size());
-        out.push_back(std::move(tuple));
-      }
-      while (k < events.size() && events[k].time == now) {
-        const auto& ev = events[k];
-        auto pos = std::lower_bound(live.begin(), live.end(), ev.index);
-        if (ev.is_start) {
-          live.insert(pos, ev.index);
-        } else {
-          GRAPHITE_CHECK(pos != live.end() && *pos == ev.index);
-          live.erase(pos);
-        }
-        ++k;
-      }
-      prev = now;
-    }
-    GRAPHITE_CHECK(live.empty());
-  }
-
-  // Maximality merge on (state value, combined payload).
-  std::vector<CombinedWarpTuple<M>> merged;
-  merged.reserve(out.size());
-  for (CombinedWarpTuple<M>& t : out) {
-    if (!merged.empty()) {
-      CombinedWarpTuple<M>& prev = merged.back();
-      if (prev.interval.Meets(t.interval) &&
-          outer[prev.outer_index].value == outer[t.outer_index].value &&
-          prev.combined == t.combined) {
-        prev.interval.end = t.interval.end;
-        prev.group_size += t.group_size;
-        continue;
-      }
-    }
-    merged.push_back(std::move(t));
-  }
-  return merged;
+  out.reserve(flat.size());
+  for (size_t i = 0; i < flat.size(); ++i) out.push_back(flat[i]);
+  return out;
 }
 
 }  // namespace graphite

@@ -1,0 +1,289 @@
+// Monotonic bump allocator backing the superstep hot path. The engines
+// give every logical worker (inbox storage) and every OS thread (warp
+// scratch/output) one Arena; allocations are pointer bumps, nothing is
+// freed individually, and the whole arena is reset at superstep barriers.
+// Reset() keeps a single block sized by the decaying high-water mark of
+// recent supersteps (the same BufferTuning knob as Writer::Clear), so in
+// steady state a superstep performs zero heap allocations: everything the
+// warp sweep and the flat inboxes need comes out of the retained block.
+//
+// Lifetime invariant (see DESIGN.md §4f): arena memory allocated during a
+// superstep's messaging phase stays valid through the next superstep's
+// compute phase and any barrier checkpoint encode, and is reclaimed only
+// by the owner's Reset() at the superstep barrier.
+#ifndef GRAPHITE_UTIL_ARENA_H_
+#define GRAPHITE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "engine/buffer_tuning.h"
+#include "util/status.h"
+
+namespace graphite {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two, at most
+  /// alignof(max_align_t) — block bases are only new[]-aligned).
+  void* Allocate(size_t bytes, size_t align) {
+    GRAPHITE_CHECK((align & (align - 1)) == 0 &&
+                   align <= alignof(std::max_align_t));
+    if (blocks_.empty()) AddBlock(bytes + align);
+    Block& top = blocks_.back();
+    size_t at = (top.used + align - 1) & ~(align - 1);
+    if (at + bytes > top.size) {
+      AddBlock(bytes + align);
+      Block& fresh = blocks_.back();
+      const uintptr_t base = reinterpret_cast<uintptr_t>(fresh.data.get());
+      at = ((base + align - 1) & ~(uintptr_t{align} - 1)) - base;
+      fresh.used = at + bytes;
+      return fresh.data.get() + at;
+    }
+    top.used = at + bytes;
+    return top.data.get() + at;
+  }
+
+  /// Typed array allocation; arena memory is never destructed, so only
+  /// trivially destructible element types may live here.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Grows the array at `ptr` from `old_n` to `new_n` elements in place if
+  /// it is the top allocation of the current block and the block has room.
+  /// Returns false (allocation untouched) otherwise.
+  template <typename T>
+  bool TryExtendArray(T* ptr, size_t old_n, size_t new_n) {
+    if (blocks_.empty()) return false;
+    Block& top = blocks_.back();
+    char* end = reinterpret_cast<char*>(ptr) + old_n * sizeof(T);
+    if (end != top.data.get() + top.used) return false;
+    const size_t extra = (new_n - old_n) * sizeof(T);
+    if (top.used + extra > top.size) return false;
+    top.used += extra;
+    return true;
+  }
+
+  /// Reclaims everything. Keeps exactly one block, sized by the decaying
+  /// high-water mark of recent supersteps: a one-off spike fades, steady
+  /// usage allocates nothing. Every pointer previously handed out dangles
+  /// after this — callers (ArenaVec, FlatInbox) must drop theirs first.
+  void Reset() {
+    size_t used = 0;
+    for (const Block& b : blocks_) used += b.used;
+    high_water_ = BufferTuning::Decay(high_water_, used);
+    const size_t want = high_water_ + BufferTuning::kRetainBytes;
+    if (blocks_.size() == 1 &&
+        !BufferTuning::ShouldShrink(blocks_[0].size, high_water_)) {
+      blocks_[0].used = 0;
+      return;
+    }
+    blocks_.clear();
+    AddBlock(want);
+  }
+
+  /// Bytes bump-allocated since the last Reset (diagnostics / tests).
+  size_t used() const {
+    size_t used = 0;
+    for (const Block& b : blocks_) used += b.used;
+    return used;
+  }
+  /// Total block capacity currently held (diagnostics / tests).
+  size_t capacity() const {
+    size_t cap = 0;
+    for (const Block& b : blocks_) cap += b.size;
+    return cap;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void AddBlock(size_t at_least) {
+    size_t size = blocks_.empty() ? BufferTuning::kRetainBytes
+                                  : blocks_.back().size * 2;
+    size = std::max(size, at_least);
+    blocks_.push_back({std::make_unique<char[]>(size), size, 0});
+  }
+
+  std::vector<Block> blocks_;
+  size_t high_water_ = 0;  // Decaying peak of per-superstep usage.
+};
+
+/// Growable array over an Arena. push_back grows geometrically, extending
+/// in place when it is the arena's top allocation and otherwise copying to
+/// a fresh slab (the old one is reclaimed wholesale at Arena::Reset). The
+/// element type must be trivially copyable: slabs relocate by memcpy and
+/// are never destructed.
+///
+/// clear() keeps the slab (reuse within a superstep); Release() must be
+/// called before the backing arena resets — it forgets the slab so the
+/// next push_back starts from the freshly reset arena.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  void Attach(Arena* arena) {
+    GRAPHITE_CHECK(arena != nullptr);
+    arena_ = arena;
+  }
+
+  /// Forgets the slab. Required before (or right after) the backing
+  /// arena's Reset, which invalidates it.
+  void Release() {
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  /// Appends a contiguous range.
+  void Append(const T* src, size_t n) {
+    if (size_ + n > capacity_) Grow(size_ + n);
+    std::memcpy(data_ + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+
+  /// Sets size to exactly `n` without initializing new elements (the
+  /// caller overwrites them all, e.g. the inbox scatter pass).
+  void ResizeUninitialized(size_t n) {
+    if (n > capacity_) Grow(n);
+    size_ = n;
+  }
+
+  /// Drops elements from `n` to the end (n <= size()).
+  void Truncate(size_t n) {
+    GRAPHITE_CHECK(n <= size_);
+    size_ = n;
+  }
+
+  /// Inserts `v` at position `pos`, shifting the tail (pos <= size()).
+  void InsertAt(size_t pos, const T& v) {
+    GRAPHITE_CHECK(pos <= size_);
+    if (size_ == capacity_) Grow(size_ + 1);
+    std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(T));
+    data_[pos] = v;
+    ++size_;
+  }
+
+  /// Removes the element at `pos`, shifting the tail (pos < size()).
+  void EraseAt(size_t pos) {
+    GRAPHITE_CHECK(pos < size_);
+    std::memmove(data_ + pos, data_ + pos + 1,
+                 (size_ - pos - 1) * sizeof(T));
+    --size_;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::span<const T> span() const { return {data_, size_}; }
+  std::span<const T> subspan(size_t offset, size_t count) const {
+    return {data_ + offset, count};
+  }
+
+ private:
+  void Grow(size_t need) {
+    GRAPHITE_CHECK(arena_ != nullptr);
+    size_t cap = capacity_ == 0 ? 8 : capacity_ * 2;
+    cap = std::max(cap, need);
+    if (data_ != nullptr && arena_->TryExtendArray(data_, capacity_, cap)) {
+      capacity_ = cap;
+      return;
+    }
+    T* fresh = arena_->AllocateArray<T>(cap);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Heap-backed stand-in for ArenaVec when the element type is not
+/// trivially copyable (e.g. messages carrying vectors): same interface, a
+/// std::vector underneath, and Release() decays retained capacity with the
+/// shared BufferTuning knob so both storage kinds age identically.
+template <typename T>
+class RecycledVec {
+ public:
+  void Attach(Arena*) {}  // Storage is owned; the arena is not used.
+
+  void Release() {
+    high_water_ = BufferTuning::Decay(high_water_, v_.size());
+    v_.clear();
+    if (BufferTuning::ShouldShrink(v_.capacity() * sizeof(T),
+                                   high_water_ * sizeof(T))) {
+      v_.shrink_to_fit();
+      v_.reserve(high_water_);
+    }
+  }
+
+  void clear() { v_.clear(); }
+  void push_back(const T& v) { v_.push_back(v); }
+  void push_back(T&& v) { v_.push_back(std::move(v)); }
+  void Append(const T* src, size_t n) { v_.insert(v_.end(), src, src + n); }
+  void ResizeUninitialized(size_t n) { v_.resize(n); }
+  void Truncate(size_t n) {
+    GRAPHITE_CHECK(n <= v_.size());
+    v_.resize(n);
+  }
+
+  T& operator[](size_t i) { return v_[i]; }
+  const T& operator[](size_t i) const { return v_[i]; }
+  T& back() { return v_.back(); }
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+  size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  std::span<const T> span() const { return {v_.data(), v_.size()}; }
+  std::span<const T> subspan(size_t offset, size_t count) const {
+    return {v_.data() + offset, count};
+  }
+
+ private:
+  std::vector<T> v_;
+  size_t high_water_ = 0;
+};
+
+/// Storage for superstep-lifetime element runs: arena-backed whenever the
+/// type allows it, heap-backed (with the same capacity aging) otherwise.
+template <typename T>
+using SuperstepVec =
+    std::conditional_t<std::is_trivially_copyable_v<T> &&
+                           std::is_trivially_destructible_v<T>,
+                       ArenaVec<T>, RecycledVec<T>>;
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_UTIL_ARENA_H_

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/buffer_tuning.h"
 #include "util/status.h"
 #include "util/varint.h"
 
@@ -38,15 +39,15 @@ class Writer {
   /// Empties the buffer but keeps (most of) its capacity — the engines
   /// drain and refill wire buffers every superstep, so reuse beats
   /// Release() + reconstruct (which reallocates from scratch each time).
-  /// Capacity is bounded by a decaying high-water mark: one pathologically
-  /// large superstep no longer pins its peak allocation for the rest of a
-  /// long run — once recent fills stay small, the buffer shrinks back.
+  /// Capacity is bounded by a decaying high-water mark (the shared
+  /// BufferTuning knob, also used by the superstep arenas): one
+  /// pathologically large superstep no longer pins its peak allocation for
+  /// the rest of a long run — once recent fills stay small, the buffer
+  /// shrinks back.
   void Clear() {
-    // Decay by 1/8 per Clear toward the latest fill; a burst re-raises it
-    // instantly, a one-off spike fades in a few dozen supersteps.
-    high_water_ = std::max(buf_.size(), high_water_ - high_water_ / 8);
+    high_water_ = BufferTuning::Decay(high_water_, buf_.size());
     buf_.clear();
-    if (buf_.capacity() > 4 * high_water_ + kClearRetainBytes) {
+    if (BufferTuning::ShouldShrink(buf_.capacity(), high_water_)) {
       buf_.shrink_to_fit();
       buf_.reserve(high_water_);
     }
@@ -54,9 +55,6 @@ class Writer {
   size_t size() const { return buf_.size(); }
 
  private:
-  /// Capacity slack Clear() always tolerates, so small buffers never churn.
-  static constexpr size_t kClearRetainBytes = 1024;
-
   std::string buf_;
   size_t high_water_ = 0;  // Decaying peak of recent fill sizes.
 };

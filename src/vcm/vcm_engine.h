@@ -34,6 +34,7 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
 #include "ckpt/fault_injector.h"
+#include "engine/flat_inbox.h"
 #include "engine/message_traits.h"
 #include "engine/metrics.h"
 #include "engine/parallel.h"
@@ -130,11 +131,11 @@ RunMetrics RunVcm(
   for (uint32_t u = 0; u < n; ++u) {
     if (adapter.UnitExists(u)) values[u] = program.Init(u);
   }
-  std::vector<std::vector<Message>> inbox(n);
   std::vector<uint8_t> has_mail(n, 0);
   // Units holding unconsumed mail, per destination worker: the barrier
-  // clears exactly these inboxes, and each list is written only by its
-  // destination's delivery lane.
+  // clears exactly these inboxes, each list is written only by its
+  // destination's delivery lane, and the list doubles as the unit layout
+  // order for FlatInbox::Seal.
   std::vector<std::vector<uint32_t>> mailed(num_workers);
 
   std::vector<size_t> worker_sizes(num_workers);
@@ -145,6 +146,15 @@ RunMetrics RunVcm(
   SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
                       worker_sizes);
   const int num_chunks = rt.num_chunks();
+
+  // Flat per-worker inboxes (engine/flat_inbox.h): one contiguous
+  // arena-backed buffer per destination worker, per-unit message runs as
+  // zero-copy spans; nothing allocates on this path in steady state.
+  InboxSpanTable inbox_spans(n);
+  std::vector<FlatInbox<Message>> inbox(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    inbox[w].Init(&rt.worker_arena(w), &inbox_spans);
+  }
 
   // Checkpointing needs the unit Value on the wire too (the Message
   // already has traits by the engine contract); see ckpt/checkpoint.h.
@@ -160,8 +170,8 @@ RunMetrics RunVcm(
         enc.WriteU64(u);
         enc.WriteByte(has_mail[u]);
         MessageTraits<Value>::Write(enc, values[u]);
-        enc.WriteU64(inbox[u].size());
-        for (const Message& m : inbox[u]) {
+        enc.WriteU64(inbox[w].CountFor(u));
+        for (const Message& m : inbox[w].MessagesFor(u)) {
           MessageTraits<Message>::Write(enc, m);
         }
       }
@@ -169,8 +179,9 @@ RunMetrics RunVcm(
     return enc.Release();
   };
   // Inverse; the store's CRC already vouched for the bytes, so reads are
-  // the fast aborting kind.
-  auto decode_section = [&](const std::string& bytes) {
+  // the fast aborting kind. Messages are staged into worker w's flat
+  // inbox; the caller Seals after rebuilding the mailed lists.
+  auto decode_section = [&](int w, const std::string& bytes) {
     if constexpr (kCheckpointable) {
       Reader r(bytes);
       while (!r.AtEnd()) {
@@ -179,10 +190,8 @@ RunMetrics RunVcm(
         has_mail[u] = r.ReadByte();
         values[u] = MessageTraits<Value>::Read(r);
         const uint64_t num_msgs = r.ReadU64();
-        inbox[u].clear();
-        inbox[u].reserve(num_msgs);
         for (uint64_t i = 0; i < num_msgs; ++i) {
-          inbox[u].push_back(MessageTraits<Message>::Read(r));
+          inbox[w].Deliver(u, MessageTraits<Message>::Read(r));
         }
       }
     }
@@ -208,13 +217,15 @@ RunMetrics RunVcm(
         // Sections cover disjoint owned-unit sets: decode in parallel.
         std::vector<int64_t> unused_ns;
         rt.ParallelFor(num_workers, &unused_ns,
-                       [&](int w, int) { decode_section(f.sections[w]); });
+                       [&](int w, int) { decode_section(w, f.sections[w]); });
         // Rebuild the per-destination mailed lists in owner order (their
-        // order only affects barrier clearing, not results).
+        // order only affects buffer layout and barrier clearing, not
+        // results), then group the decoded messages for compute.
         for (int w = 0; w < num_workers; ++w) {
           for (const uint32_t u : units_by_worker[w]) {
             if (has_mail[u]) mailed[w].push_back(u);
           }
+          inbox[w].Seal(mailed[w]);
         }
         start_superstep = f.superstep;
         resumed = true;
@@ -234,12 +245,13 @@ RunMetrics RunVcm(
   if (!resumed) {
     for (const auto& [unit, msg] : initial_messages) {
       GRAPHITE_CHECK(unit < n && adapter.UnitExists(unit));
-      inbox[unit].push_back(msg);
+      inbox[worker_of[unit]].Deliver(unit, msg);
       if (!has_mail[unit]) {
         has_mail[unit] = 1;
         mailed[worker_of[unit]].push_back(unit);
       }
     }
+    for (int w = 0; w < num_workers; ++w) inbox[w].Seal(mailed[w]);
   }
 
   // Wire buffers, indexed [chunk][dst_worker]; chunk rows concatenate in
@@ -285,7 +297,7 @@ RunMetrics RunVcm(
                 superstep == 0 || options.always_active || has_mail[u];
             if (!active) continue;
             program.Compute(ctx, u, values[u],
-                            std::span<const Message>(inbox[u]));
+                            inbox[chunk.worker].MessagesFor(u));
             ++chunk_calls[c];
           }
           chunk_ns[c] = NowNanos() - t0;
@@ -307,14 +319,16 @@ RunMetrics RunVcm(
       ss.messages += chunk_messages[c];
     }
 
-    // --- Barrier: clear only the inboxes that received mail. ---
+    // --- Barrier: drop the consumed flat inboxes and reset the superstep
+    // arenas. Arenas reset only here (see DESIGN.md §4f) — the messaging
+    // phase below refills them for superstep+1, and a checkpoint encoded
+    // after messaging may still reference arena-backed storage. ---
     const int64_t barrier_t = NowNanos();
     for (int w = 0; w < num_workers; ++w) {
-      for (const uint32_t u : mailed[w]) {
-        inbox[u].clear();
-        has_mail[u] = 0;
-      }
+      for (const uint32_t u : mailed[w]) has_mail[u] = 0;
+      inbox[w].ResetAtBarrier(mailed[w]);
       mailed[w].clear();
+      rt.worker_arena(w).Reset();
     }
     ss.barrier_ns = NowNanos() - barrier_t;
 
@@ -336,7 +350,7 @@ RunMetrics RunVcm(
           while (!reader.AtEnd()) {
             const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
             Message msg = MessageTraits<Message>::Read(reader);
-            inbox[unit].push_back(std::move(msg));
+            inbox[dst].Deliver(unit, std::move(msg));
             if (!has_mail[unit]) {
               has_mail[unit] = 1;
               mailed[dst].push_back(unit);
@@ -346,6 +360,9 @@ RunMetrics RunVcm(
           buf.Clear();
         }
       }
+      // Group this worker's staged messages by unit: per-unit runs become
+      // spans for the next compute phase (and checkpoint encode).
+      inbox[dst].Seal(mailed[dst]);
     });
     ss.messaging_ns = NowNanos() - msg_t;
     bool any_message = false;

@@ -1,0 +1,201 @@
+// Unit tests for the superstep arena (util/arena.h): bump allocation and
+// alignment, in-place array extension, the barrier Reset with decaying
+// high-water retention (shared BufferTuning knob), and the ArenaVec /
+// RecycledVec containers built on top. These suites are part of the
+// sanitizer matrix (tests/CMakeLists.txt, label `asan`): every slab
+// relocation, memmove shift, and post-Reset reuse runs under ASan there.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/buffer_tuning.h"
+#include "util/arena.h"
+
+namespace graphite {
+namespace {
+
+TEST(ArenaTest, AllocateRespectsAlignment) {
+  Arena arena;
+  for (size_t align : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                       alignof(std::max_align_t)}) {
+    for (size_t bytes : {size_t{1}, size_t{3}, size_t{17}, size_t{4096}}) {
+      void* p = arena.Allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+          << "bytes=" << bytes << " align=" << align;
+    }
+  }
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena;
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    char* p = static_cast<char*>(arena.Allocate(24, 8));
+    std::memset(p, i, 24);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (int k = 0; k < 24; ++k) EXPECT_EQ(ptrs[i][k], static_cast<char>(i));
+  }
+}
+
+TEST(ArenaTest, TryExtendArrayGrowsTopAllocationInPlace) {
+  Arena arena;
+  // A small first request so the block has plenty of headroom after it.
+  uint32_t* a = arena.AllocateArray<uint32_t>(4);
+  EXPECT_TRUE(arena.TryExtendArray(a, 4, 16));
+  // `a` is no longer the top allocation once something else is bumped.
+  arena.AllocateArray<uint32_t>(1);
+  EXPECT_FALSE(arena.TryExtendArray(a, 16, 32));
+}
+
+TEST(ArenaTest, ResetKeepsOneBlockAndReusesIt) {
+  Arena arena;
+  // Force several blocks.
+  for (int i = 0; i < 8; ++i) arena.Allocate(2048, 8);
+  EXPECT_GT(arena.used(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  const size_t cap_after_reset = arena.capacity();
+  // Steady state: the same usage pattern fits the retained block, so
+  // capacity never changes again (zero heap allocations per superstep).
+  for (int superstep = 0; superstep < 16; ++superstep) {
+    for (int i = 0; i < 8; ++i) arena.Allocate(1024, 8);
+    arena.Reset();
+    EXPECT_EQ(arena.capacity(), cap_after_reset) << "superstep " << superstep;
+  }
+}
+
+TEST(ArenaTest, ResetDecaysHighWaterAfterSpike) {
+  Arena arena;
+  arena.Allocate(1 << 20, 8);  // One-off 1 MiB spike.
+  arena.Reset();
+  const size_t spiked = arena.capacity();
+  // Idle supersteps: the high-water mark decays by 1/kDecayDivisor per
+  // reset, so the retained block eventually shrinks well below the spike.
+  for (int i = 0; i < 200; ++i) {
+    arena.Allocate(256, 8);
+    arena.Reset();
+  }
+  EXPECT_LT(arena.capacity(), spiked / 4);
+  EXPECT_GE(arena.capacity(), BufferTuning::kRetainBytes);
+}
+
+TEST(ArenaVecTest, PushBackPreservesValuesAcrossGrowth) {
+  Arena arena;
+  ArenaVec<uint64_t> v;
+  v.Attach(&arena);
+  for (uint64_t i = 0; i < 10000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i * 3);
+}
+
+TEST(ArenaVecTest, InterleavedVecsRelocateCorrectly) {
+  // Two vecs bumping the same arena: each Grow call finds the other vec on
+  // top of the block, forcing the memcpy-relocation path.
+  Arena arena;
+  ArenaVec<uint32_t> a, b;
+  a.Attach(&arena);
+  b.Attach(&arena);
+  for (uint32_t i = 0; i < 4096; ++i) {
+    a.push_back(i);
+    b.push_back(i ^ 0xffffffffu);
+  }
+  for (uint32_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(a[i], i);
+    ASSERT_EQ(b[i], i ^ 0xffffffffu);
+  }
+}
+
+TEST(ArenaVecTest, InsertAtAndEraseAtShiftTails) {
+  Arena arena;
+  ArenaVec<uint32_t> v;
+  v.Attach(&arena);
+  std::vector<uint32_t> ref;
+  for (uint32_t i = 0; i < 100; ++i) {
+    const size_t pos = (i * 7) % (ref.size() + 1);
+    v.InsertAt(pos, i);
+    ref.insert(ref.begin() + pos, i);
+  }
+  for (uint32_t i = 0; i < 40; ++i) {
+    const size_t pos = (i * 13) % ref.size();
+    v.EraseAt(pos);
+    ref.erase(ref.begin() + pos);
+  }
+  ASSERT_EQ(v.size(), ref.size());
+  for (size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(v[i], ref[i]);
+}
+
+TEST(ArenaVecTest, AppendTruncateAndResizeUninitialized) {
+  Arena arena;
+  ArenaVec<uint16_t> v;
+  v.Attach(&arena);
+  const uint16_t chunk[5] = {1, 2, 3, 4, 5};
+  v.Append(chunk, 5);
+  v.Append(chunk, 5);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[7], 3);
+  v.Truncate(6);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.back(), 1);
+  v.ResizeUninitialized(64);
+  ASSERT_EQ(v.size(), 64u);
+  for (size_t i = 0; i < 64; ++i) v[i] = static_cast<uint16_t>(i);
+  EXPECT_EQ(v[63], 63);
+}
+
+TEST(ArenaVecTest, ReleaseThenResetRestartsFromFreshArena) {
+  Arena arena;
+  ArenaVec<uint64_t> v;
+  v.Attach(&arena);
+  for (int superstep = 0; superstep < 10; ++superstep) {
+    for (uint64_t i = 0; i < 500; ++i) v.push_back(i + superstep);
+    ASSERT_EQ(v.size(), 500u);
+    for (uint64_t i = 0; i < 500; ++i) ASSERT_EQ(v[i], i + superstep);
+    v.Release();  // Barrier order: drop the slab, then reset the arena.
+    arena.Reset();
+    EXPECT_TRUE(v.empty());
+  }
+}
+
+TEST(ArenaVecTest, ClearKeepsSlabWithinSuperstep) {
+  Arena arena;
+  ArenaVec<uint32_t> v;
+  v.Attach(&arena);
+  for (uint32_t i = 0; i < 100; ++i) v.push_back(i);
+  const size_t used_before = arena.used();
+  v.clear();
+  for (uint32_t i = 0; i < 100; ++i) v.push_back(i * 2);
+  // Same slab, no extra arena usage.
+  EXPECT_EQ(arena.used(), used_before);
+  EXPECT_EQ(v[99], 198u);
+}
+
+TEST(RecycledVecTest, ReleaseDecaysRetainedCapacity) {
+  RecycledVec<std::vector<int>> v;  // Non-trivial type: heap fallback.
+  v.Attach(nullptr);
+  for (int i = 0; i < 50000; ++i) v.push_back(std::vector<int>{i});
+  v.Release();
+  EXPECT_TRUE(v.empty());
+  // Idle releases decay the high-water mark on the same BufferTuning
+  // schedule as Arena::Reset; afterwards the vec must still fill cleanly.
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(std::vector<int>{i});
+    v.Release();
+  }
+  for (int i = 0; i < 100; ++i) v.push_back(std::vector<int>{i});
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[42][0], 42);
+}
+
+TEST(SuperstepVecTest, PicksArenaBackingForTrivialTypes) {
+  static_assert(
+      std::is_same_v<SuperstepVec<uint32_t>, ArenaVec<uint32_t>>);
+  static_assert(std::is_same_v<SuperstepVec<std::vector<int>>,
+                               RecycledVec<std::vector<int>>>);
+}
+
+}  // namespace
+}  // namespace graphite

@@ -277,5 +277,82 @@ TEST(TimeWarpTest, ConsistentWithTimeJoin) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Arrival-order guarantee: every WarpTuple::inner_indices lists message
+// indices in arrival (inbox) order — i.e. strictly ascending — including
+// tuples produced by the Property-4 maximality merge across slice
+// boundaries, which must keep the earlier slice's group.
+// ---------------------------------------------------------------------
+
+// Targeted cross-slice merge: [0,3) is live {m0, m1} and [3,6) is live
+// {m0, m2}; with m1 and m2 equal-valued the groups are multiset-equal, so
+// maximality merges the slices. The merged tuple must keep the FIRST
+// slice's group {0, 1} in arrival order — not {0, 2}, and not a
+// re-sorted or match-ordered permutation.
+TEST(TimeWarpTest, MaximalityMergeKeepsArrivalOrderAcrossSlices) {
+  std::vector<Entry> outer = MakeOuter({{{0, 10}, 1}});
+  std::vector<Item> inner = {{{0, 6}, 5}, {{0, 3}, 7}, {{3, 6}, 7}};
+  const auto warp = TimeWarp<int, int>(outer, inner);
+  ASSERT_EQ(warp.size(), 1u);
+  EXPECT_EQ(warp[0].interval, Interval(0, 6));
+  EXPECT_EQ(warp[0].inner_indices, (std::vector<uint32_t>{0, 1}));
+}
+
+// Same shape, but the merge chain extends over three slices; arrival
+// order must survive repeated in-place extension of one tuple.
+TEST(TimeWarpTest, RepeatedMergeKeepsArrivalOrder) {
+  std::vector<Entry> outer = MakeOuter({{{0, 12}, 1}});
+  std::vector<Item> inner = {
+      {{0, 9}, 5}, {{0, 3}, 7}, {{3, 6}, 7}, {{6, 9}, 7}};
+  const auto warp = TimeWarp<int, int>(outer, inner);
+  ASSERT_EQ(warp.size(), 1u);
+  EXPECT_EQ(warp[0].interval, Interval(0, 9));
+  EXPECT_EQ(warp[0].inner_indices, (std::vector<uint32_t>{0, 1}));
+}
+
+// A message arriving later (higher index) but starting earlier must still
+// be listed after earlier arrivals in every group it shares with them.
+TEST(TimeWarpTest, GroupOrderIsArrivalNotStartTime) {
+  std::vector<Entry> outer = MakeOuter({{{0, 10}, 1}});
+  // m0 arrives first but starts later than m1.
+  std::vector<Item> inner = {{{4, 8}, 100}, {{1, 8}, 200}};
+  const auto warp = TimeWarp<int, int>(outer, inner);
+  ASSERT_EQ(warp.size(), 2u);
+  EXPECT_EQ(warp[0].interval, Interval(1, 4));
+  EXPECT_EQ(warp[0].inner_indices, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(warp[1].interval, Interval(4, 8));
+  EXPECT_EQ(warp[1].inner_indices, (std::vector<uint32_t>{0, 1}));
+}
+
+// Randomized sweep: ascending inner_indices in every tuple, any input.
+TEST(TimeWarpTest, AllGroupsAscendingUnderRandomInputs) {
+  Rng rng(4242);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<Entry> outer;
+    TimePoint t = 0;
+    const int num_states = 1 + static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < num_states && t < 24; ++i) {
+      TimePoint end =
+          i == num_states - 1 ? 24 : rng.UniformRange(t + 1, 25);
+      outer.push_back({{t, end}, static_cast<int>(rng.Uniform(3))});
+      t = end;
+    }
+    std::vector<Item> inner;
+    const int num_msgs = 1 + static_cast<int>(rng.Uniform(24));
+    for (int i = 0; i < num_msgs; ++i) {
+      const TimePoint s = rng.UniformRange(0, 23);
+      // Few distinct payloads so equal-value merges are frequent.
+      inner.push_back(
+          {{s, rng.UniformRange(s + 1, 25)}, static_cast<int>(rng.Uniform(3))});
+    }
+    for (const WarpTuple& w : TimeWarp<int, int>(outer, inner)) {
+      for (size_t i = 0; i + 1 < w.inner_indices.size(); ++i) {
+        ASSERT_LT(w.inner_indices[i], w.inner_indices[i + 1])
+            << "group not in arrival order in " << w.interval.ToString();
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace graphite

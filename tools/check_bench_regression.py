@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf regression gate over bench JSON reports.
+
+Compares the "gated" block of a fresh benchmark run against the committed
+baseline and fails on >10% regressions. Each gated entry is
+self-describing:
+
+    "gated": {
+      "warp_alloc_ratio": {"value": 310.0, "better": "higher", "timing": false},
+      ...
+    }
+
+Non-timing metrics (allocation counts, ratios of counts) are deterministic
+per build and enforced unconditionally. Timing metrics are noisy on shared
+machines, so they are warnings by default and enforced only with --strict
+or GRAPHITE_PERF_STRICT=1.
+
+Usage: check_bench_regression.py <committed.json> <fresh.json> [--strict]
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/format error.
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = 0.10  # Allowed relative regression.
+
+
+def load_gated(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    gated = report.get("gated")
+    if not isinstance(gated, dict):
+        print(f"error: {path} has no 'gated' object", file=sys.stderr)
+        sys.exit(2)
+    return gated
+
+
+def regressed(better, baseline, fresh):
+    """True when `fresh` is more than TOLERANCE worse than `baseline`."""
+    if better == "higher":
+        return fresh < baseline * (1.0 - TOLERANCE)
+    if better == "lower":
+        # A zero baseline (e.g. zero allocations in steady state) allows
+        # only the absolute slack the tolerance would give a baseline of 1.
+        return fresh > baseline * (1.0 + TOLERANCE) + (
+            TOLERANCE if baseline == 0 else 0.0
+        )
+    print(f"error: unknown 'better' direction {better!r}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main(argv):
+    strict = "--strict" in argv or os.environ.get(
+        "GRAPHITE_PERF_STRICT", "0"
+    ) not in ("", "0")
+    paths = [a for a in argv if a != "--strict"]
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    committed = load_gated(paths[0])
+    fresh = load_gated(paths[1])
+
+    failures = []
+    for key, base in committed.items():
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        entry = fresh[key]
+        base_v = float(base["value"])
+        fresh_v = float(entry["value"])
+        timing = bool(base.get("timing", False))
+        direction = base.get("better", "lower")
+        bad = regressed(direction, base_v, fresh_v)
+        verdict = "OK"
+        if bad:
+            verdict = "REGRESSION" if (strict or not timing) else "warn"
+        enforced = "" if (strict or not timing) else " (timing, not enforced)"
+        print(
+            f"{verdict:>10}  {key}: baseline {base_v:.3f} -> fresh "
+            f"{fresh_v:.3f} (better: {direction}){enforced}"
+        )
+        if bad and (strict or not timing):
+            failures.append(
+                f"{key}: {fresh_v:.3f} vs baseline {base_v:.3f} "
+                f"(better: {direction}, tolerance {TOLERANCE:.0%})"
+            )
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
