@@ -13,12 +13,16 @@
 #include <cstring>
 #include <iterator>
 #include <limits>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "algorithms/common.h"
 #include "algorithms/vcm_ti_kernels.h"
 #include "baselines/msb.h"
+#include "engine/delivery.h"
+#include "graph/partitioner.h"
 #include "icm/message.h"
 
 namespace graphite {
@@ -37,6 +41,8 @@ struct ChlonosOptions {
   /// full horizon. Used by the batch-level SCC driver.
   TimePoint window_begin = 0;
   TimePoint window_end = -1;
+  /// Vertex->worker placement policy (graph/partitioner.h).
+  Placement placement;
 };
 
 /// Send-side context for one (snapshot, worker): records messages with
@@ -79,13 +85,13 @@ BaselineOutcome<typename Program::Value> RunChlonos(
 
   const size_t n = g.num_vertices();
   const int num_workers = options.num_workers;
-  HashPartitioner partitioner(num_workers);
-  std::vector<int> worker_of(n);
-  std::vector<std::vector<VertexIdx>> vertices_by_worker(num_workers);
-  for (VertexIdx v = 0; v < n; ++v) {
-    worker_of[v] = partitioner.WorkerOf(g.vertex_id(v));
-    vertices_by_worker[worker_of[v]].push_back(v);
-  }
+  // Vertex-level placement, built once; each batch's delivery plane routes
+  // by this map while its inbox universe is the batch-expanded
+  // (snapshot, vertex) units.
+  const WorkerMap vmap(n, num_workers, options.placement,
+                       [&g](uint32_t v) { return g.vertex_id(v); });
+  const std::unique_ptr<Transport> transport =
+      MakeTransport(options.runtime.transport, num_workers);
 
   BaselineOutcome<Value> out;
   out.result.resize(n);
@@ -111,11 +117,12 @@ BaselineOutcome<typename Program::Value> RunChlonos(
 
     auto unit = [n](int k, VertexIdx v) { return k * n + v; };
     std::vector<Value> values(static_cast<size_t>(B) * n);
-    std::vector<std::vector<Message>> inbox(static_cast<size_t>(B) * n);
-    std::vector<uint8_t> has_mail(static_cast<size_t>(B) * n, 0);
-    // Units holding unconsumed mail; the barrier clears exactly these
-    // instead of scanning all B*n inboxes.
-    std::vector<size_t> mailed;
+    // Delivery plane over the batch-expanded unit universe (unit k*n+v
+    // lives wherever vertex v does). Unit indexes must fit the plane's
+    // 32-bit unit type.
+    GRAPHITE_CHECK(static_cast<size_t>(B) * n <=
+                   std::numeric_limits<uint32_t>::max());
+    DeliveryPlane<Message> plane(vmap, static_cast<size_t>(B) * n);
     for (int k = 0; k < B; ++k) {
       for (VertexIdx v = 0; v < n; ++v) {
         if (adapters[k].UnitExists(v)) {
@@ -124,17 +131,21 @@ BaselineOutcome<typename Program::Value> RunChlonos(
       }
     }
 
-    std::vector<size_t> worker_sizes(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
-      worker_sizes[w] = vertices_by_worker[w].size();
-    }
     // Persistent pool + fixed chunk table for this batch; per-chunk
     // outboxes merge in chunk order before the share-grouping sort, which
     // orders messages by content, so results match sequential mode.
     SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
-                        worker_sizes);
+                        vmap.worker_sizes());
+    plane.Bind(&rt);
     const int num_chunks = rt.num_chunks();
     std::vector<std::vector<Pending>> outbox(num_chunks);
+    // Shared interval messages are staged per (src, dst) worker pair: the
+    // merge already folds chunks into one per-source stream, so rows are
+    // per source worker and row_src is the identity.
+    std::vector<std::vector<Writer>> wire(num_workers);
+    for (auto& row : wire) row.resize(num_workers);
+    std::vector<int> row_src(num_workers);
+    for (int w = 0; w < num_workers; ++w) row_src[w] = w;
     std::vector<int64_t> chunk_calls(num_chunks, 0);
     std::vector<int64_t> chunk_ns(num_chunks, 0);
 
@@ -149,18 +160,19 @@ BaselineOutcome<typename Program::Value> RunChlonos(
           &ss.thread_compute_ns, [&](int c, const WorkChunk& chunk, int) {
             const int64_t t0 = NowNanos();
             const std::vector<VertexIdx>& mine =
-                vertices_by_worker[chunk.worker];
+                plane.map().units_of(chunk.worker);
             for (int k = 0; k < B; ++k) {
               ChlonosContext<Message> ctx(superstep, b0 + k, &outbox[c]);
               for (size_t i = chunk.begin; i < chunk.end; ++i) {
                 const VertexIdx v = mine[i];
                 if (!adapters[k].UnitExists(v)) continue;
-                const size_t idx = unit(k, v);
-                const bool active =
-                    superstep == 0 || options.always_active || has_mail[idx];
+                const uint32_t idx = static_cast<uint32_t>(unit(k, v));
+                const bool active = superstep == 0 ||
+                                    options.always_active ||
+                                    plane.HasMail(idx);
                 if (!active) continue;
                 programs[k].Compute(ctx, v, values[idx],
-                                    std::span<const Message>(inbox[idx]));
+                                    plane.MessagesFor(chunk.worker, idx));
                 ++chunk_calls[c];
               }
             }
@@ -174,18 +186,13 @@ BaselineOutcome<typename Program::Value> RunChlonos(
       }
 
       const int64_t barrier_t = NowNanos();
-      for (const size_t idx : mailed) {
-        inbox[idx].clear();
-        has_mail[idx] = 0;
-      }
-      mailed.clear();
+      plane.Barrier();
       ss.barrier_ns = NowNanos() - barrier_t;
 
       // Messaging with Chronos-style sharing: a run of identical payloads
       // to the same sink at consecutive time-points becomes ONE interval
       // message on the wire.
       const int64_t msg_t = NowNanos();
-      bool any_message = false;
       std::vector<Pending> pending;
       for (int src_w = 0; src_w < num_workers; ++src_w) {
         const auto [c0, c1] = rt.ChunkRange(src_w);
@@ -251,28 +258,30 @@ BaselineOutcome<typename Program::Value> RunChlonos(
             ++j;
           }
           // One shared wire message covering [head.t, t_end):
-          // dst + interval + payload slice.
-          const int64_t wire_size =
-              static_cast<int64_t>(VarintLength(head.dst)) +
-              static_cast<int64_t>(IntervalWireSize(Interval(head.t, t_end))) +
-              slices[order[i]].second;
+          // dst + interval + payload slice (already-serialized bytes).
+          const int dst_w = plane.map().WorkerOf(head.dst);
+          Writer& row = wire[src_w][dst_w];
+          row.WriteU64(head.dst);
+          WriteInterval(row, Interval(head.t, t_end));
+          row.Append(std::string_view(bytes).substr(slices[order[i]].first,
+                                                    slices[order[i]].second));
           ss.messages += 1;
-          ss.message_bytes += wire_size;
-          const int dst_w = worker_of[head.dst];
-          if (dst_w != src_w) ss.worker_in_bytes[dst_w] += wire_size;
-          // Deliver (expand back to per-snapshot inboxes).
-          for (TimePoint t = head.t; t < t_end; ++t) {
-            const size_t idx = unit(static_cast<int>(t - b0), head.dst);
-            inbox[idx].push_back(head.payload);
-            if (!has_mail[idx]) {
-              has_mail[idx] = 1;
-              mailed.push_back(idx);
-            }
-          }
-          any_message = true;
           i = j;
         }
       }
+      // Carry the shared messages through the transport; the decode side
+      // expands each interval message back into the per-snapshot inboxes.
+      const bool any_message = plane.Route(
+          *transport, std::span<std::vector<Writer>>(wire), row_src, &ss,
+          [&plane, b0, n](Reader& reader, int dst) {
+            const uint32_t dv = static_cast<uint32_t>(reader.ReadU64());
+            const Interval iv = ReadInterval(reader);
+            const Message msg = MessageTraits<Message>::Read(reader);
+            for (TimePoint tt = iv.start; tt < iv.end; ++tt) {
+              const size_t idx = static_cast<size_t>(tt - b0) * n + dv;
+              plane.Deliver(dst, static_cast<uint32_t>(idx), msg);
+            }
+          });
       ss.messaging_ns = NowNanos() - msg_t;
       out.metrics.Accumulate(ss);
       if (!any_message && !options.always_active) break;

@@ -9,12 +9,14 @@
 #define GRAPHITE_BASELINES_GOFFISH_H_
 
 #include <algorithm>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "algorithms/common.h"
 #include "baselines/msb.h"
+#include "engine/delivery.h"
 #include "engine/message_traits.h"
 #include "engine/parallel.h"
 #include "graph/partitioner.h"
@@ -30,6 +32,8 @@ struct GoffishOptions {
   RuntimeOptions runtime;
   /// Process snapshots from horizon-1 down to 0 (LD's reverse traversal).
   bool reverse_time = false;
+  /// Vertex->worker placement policy (graph/partitioner.h).
+  Placement placement;
 };
 
 /// Send-side context for one (snapshot, worker). Same-snapshot sends are
@@ -85,13 +89,12 @@ BaselineOutcome<typename Program::Value> RunGoffish(
   const size_t n = g.num_vertices();
   const TimePoint T = g.horizon();
   const int num_workers = options.num_workers;
-  HashPartitioner partitioner(num_workers);
-  std::vector<int> worker_of(n);
-  std::vector<std::vector<VertexIdx>> vertices_by_worker(num_workers);
-  for (VertexIdx v = 0; v < n; ++v) {
-    worker_of[v] = partitioner.WorkerOf(g.vertex_id(v));
-    vertices_by_worker[worker_of[v]].push_back(v);
-  }
+
+  // Delivery plane (engine/delivery.h): placement, flat per-worker
+  // inboxes and mail tracking, shared by every snapshot's inner loop.
+  DeliveryPlane<Message> plane(WorkerMap(
+      n, num_workers, options.placement,
+      [&g](uint32_t v) { return g.vertex_id(v); }));
 
   std::vector<Value> values(n);
   for (VertexIdx v = 0; v < n; ++v) values[v] = program.Init(v);
@@ -103,38 +106,23 @@ BaselineOutcome<typename Program::Value> RunGoffish(
   out.result.resize(n);
   const int64_t run_start = NowNanos();
 
-  // Inboxes are reused across snapshots (cleared via the mailed list) so
-  // the per-snapshot fixed cost stays proportional to actual traffic.
-  std::vector<std::vector<Message>> inbox(n);
-  std::vector<uint8_t> has_mail(n, 0);
-  // Vertices holding unconsumed mail; the barrier clears exactly these
-  // inboxes instead of scanning all n.
-  std::vector<VertexIdx> mailed;
-  auto deliver_mail = [&](VertexIdx v) {
-    if (!has_mail[v]) {
-      has_mail[v] = 1;
-      mailed.push_back(v);
-    }
-  };
-  auto clear_mail = [&] {
-    for (const VertexIdx v : mailed) {
-      inbox[v].clear();
-      has_mail[v] = 0;
-    }
-    mailed.clear();
-  };
-
-  std::vector<size_t> worker_sizes(num_workers);
-  for (int w = 0; w < num_workers; ++w) {
-    worker_sizes[w] = vertices_by_worker[w].size();
-  }
   // Persistent pool + fixed chunk table, shared by every snapshot's inner
   // loop. Outboxes are per chunk: concatenating them in chunk order equals
   // sequential mode's per-worker outbox order exactly.
   SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
-                      worker_sizes);
+                      plane.map().worker_sizes());
+  plane.Bind(&rt);
+  const std::unique_ptr<Transport> transport =
+      MakeTransport(options.runtime.transport, num_workers);
   const int num_chunks = rt.num_chunks();
   std::vector<std::vector<Pending>> outbox(num_chunks);
+  // Same-snapshot messages travel as wire rows through the plane (the
+  // same (dst, t, payload) encoding the byte metrics always used);
+  // cross-snapshot ones stay typed in the temporal mailboxes.
+  std::vector<std::vector<Writer>> wire(num_chunks);
+  for (auto& row : wire) row.resize(num_workers);
+  std::vector<int> row_src(num_chunks);
+  for (int c = 0; c < num_chunks; ++c) row_src[c] = rt.chunk(c).worker;
   std::vector<int64_t> chunk_calls(num_chunks, 0);
   std::vector<int64_t> chunk_ns(num_chunks, 0);
 
@@ -142,12 +130,14 @@ BaselineOutcome<typename Program::Value> RunGoffish(
     const TimePoint t = options.reverse_time ? T - 1 - step : step;
     SnapshotView view(&g, t);
 
-    clear_mail();
+    // Snapshot boundary: drop whatever the previous snapshot left sealed,
+    // then seed this snapshot's inboxes from its temporal mailbox.
+    plane.Barrier();
     for (auto& [v, m] : temporal[static_cast<size_t>(t)]) {
-      inbox[v].push_back(std::move(m));
-      deliver_mail(v);
+      plane.Deliver(plane.map().WorkerOf(v), v, std::move(m));
     }
     temporal[static_cast<size_t>(t)].clear();
+    plane.SealAll();
 
     // Inner VCM loop over this snapshot.
     for (int inner = 0;; ++inner) {
@@ -162,16 +152,16 @@ BaselineOutcome<typename Program::Value> RunGoffish(
             const int64_t t0 = NowNanos();
             GofContext<Message> ctx(inner, t, &outbox[c]);
             const std::vector<VertexIdx>& mine =
-                vertices_by_worker[chunk.worker];
+                plane.map().units_of(chunk.worker);
             for (size_t i = chunk.begin; i < chunk.end; ++i) {
               const VertexIdx v = mine[i];
               if (!view.VertexActive(v)) continue;
               const bool active =
-                  has_mail[v] ||
+                  plane.HasMail(v) ||
                   (inner == 0 && program.InitialActive(v, t, view));
               if (!active) continue;
               program.Compute(ctx, v, values[v],
-                              std::span<const Message>(inbox[v]), view);
+                              plane.MessagesFor(chunk.worker, v), view);
               ++chunk_calls[c];
             }
             chunk_ns[c] = NowNanos() - t0;
@@ -184,41 +174,58 @@ BaselineOutcome<typename Program::Value> RunGoffish(
       }
 
       const int64_t barrier_t = NowNanos();
-      clear_mail();
+      plane.Barrier();
       ss.barrier_ns = NowNanos() - barrier_t;
 
-      // Route: serialize everything (bytes metric), deliver same-snapshot
-      // messages to the next inner superstep, queue the rest temporally.
+      // Route: serialize everything (bytes metric). Same-snapshot messages
+      // travel as wire rows through the plane and reappear in the next
+      // inner superstep; cross-snapshot ones are byte-counted with the
+      // identical encoding, then queued typed in the temporal mailboxes.
       // Chunk outboxes are walked in chunk order, which is the sequential
       // per-worker order.
       const int64_t msg_t = NowNanos();
-      bool any_intra = false;
+      Writer scratch;
       for (int src_w = 0; src_w < num_workers; ++src_w) {
         const auto [c0, c1] = rt.ChunkRange(src_w);
         for (int c = c0; c < c1; ++c) {
-          for (const Pending& p : outbox[c]) {
-            Writer wm;
-            wm.WriteU64(p.dst);
-            wm.WriteI64(p.t);
-            MessageTraits<Message>::Write(wm, p.payload);
-            ss.messages += 1;
-            ss.message_bytes += static_cast<int64_t>(wm.size());
-            const int dst_w = worker_of[p.dst];
-            if (dst_w != src_w) {
-              ss.worker_in_bytes[dst_w] += static_cast<int64_t>(wm.size());
-            }
+          for (Pending& p : outbox[c]) {
+            const int dst_w = plane.map().WorkerOf(p.dst);
             if (p.t == t) {
-              inbox[p.dst].push_back(p.payload);
-              deliver_mail(p.dst);
-              any_intra = true;
-            } else if (p.t >= 0 && p.t < T) {
-              temporal[static_cast<size_t>(p.t)].emplace_back(p.dst, p.payload);
+              Writer& row = wire[c][dst_w];
+              row.WriteU64(p.dst);
+              row.WriteI64(p.t);
+              MessageTraits<Message>::Write(row, p.payload);
+              ss.messages += 1;
+              // Bytes are accounted by plane.Route below.
+            } else {
+              scratch.Clear();
+              scratch.WriteU64(p.dst);
+              scratch.WriteI64(p.t);
+              MessageTraits<Message>::Write(scratch, p.payload);
+              ss.messages += 1;
+              ss.message_bytes += static_cast<int64_t>(scratch.size());
+              if (dst_w != src_w) {
+                ss.worker_in_bytes[dst_w] +=
+                    static_cast<int64_t>(scratch.size());
+              }
+              if (p.t >= 0 && p.t < T) {
+                temporal[static_cast<size_t>(p.t)].emplace_back(
+                    p.dst, std::move(p.payload));
+              }
+              // Else: addressed beyond the horizon; counted, undeliverable.
             }
-            // Else: addressed beyond the horizon; counted, undeliverable.
           }
           outbox[c].clear();
         }
       }
+      const bool any_intra = plane.Route(
+          *transport, std::span<std::vector<Writer>>(wire), row_src, &ss,
+          [&plane, t](Reader& reader, int dst) {
+            const uint32_t dv = static_cast<uint32_t>(reader.ReadU64());
+            const TimePoint mt = reader.ReadI64();
+            GRAPHITE_CHECK(mt == t);
+            plane.Deliver(dst, dv, MessageTraits<Message>::Read(reader));
+          });
       ss.messaging_ns = NowNanos() - msg_t;
       out.metrics.Accumulate(ss);
       if (!any_intra) break;

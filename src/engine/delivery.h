@@ -1,0 +1,259 @@
+// The shared delivery plane: everything between a Send() and the next
+// superstep's Compute() that all four engines (ICM, VCM, GoFFish, Chlonos)
+// used to duplicate inline — placement materialization, per-worker flat
+// inboxes, mail tracking with per-destination mailed lists, the
+// per-destination messaging loop, the superstep barrier, and the
+// checkpoint drain/restore accessors. Engines now own only their wire
+// format (what one message's bytes mean); the plane owns how bytes move
+// and how delivered items are grouped for compute.
+//
+// Parameterization:
+//   * Placement (graph/partitioner.h) — WorkerMap materializes whichever
+//     unit->worker policy the engine's options carry (hash default,
+//     explicit map, or a strategy from graph/partition_strategies.h).
+//   * Transport (engine/transport.h) — Route() carries every wire row
+//     through the run's backend: the zero-copy in-process hop, or the
+//     loopback wire channel that copies each row's bytes out of the
+//     sender and decodes purely from the copy.
+//
+// Determinism: Route visits rows in index order and a row's messages in
+// write order, so per-inbox arrival order — and therefore Seal's grouped
+// layout and every result byte — is independent of scheduling mode and
+// transport backend (runtime_determinism_test enforces the full matrix).
+//
+// Concurrency: each destination worker's inbox, mailed list and transport
+// channel are touched only by that destination's delivery lane inside
+// Route's ParallelFor; Deliver outside Route (checkpoint restore, initial
+// seeds) follows the same owner-lane discipline.
+#ifndef GRAPHITE_ENGINE_DELIVERY_H_
+#define GRAPHITE_ENGINE_DELIVERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/flat_inbox.h"
+#include "engine/metrics.h"
+#include "engine/parallel.h"
+#include "engine/transport.h"
+#include "graph/partitioner.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace graphite {
+
+/// A Placement materialized over a concrete unit universe: the forward
+/// map (worker_of) used on the send side and the inverse lists
+/// (units_of) that drive compute distribution. Built once per run — the
+/// single source of truth for who owns what.
+class WorkerMap {
+ public:
+  /// `key_of(u)` is unit u's partition key (external id) for the hash
+  /// policy; `exists(u)` == false parks the unit on worker 0 and keeps it
+  /// out of every owner list (VCM's non-existent units).
+  template <typename KeyFn, typename ExistsFn>
+  WorkerMap(size_t num_units, int num_workers, const Placement& placement,
+            KeyFn&& key_of, ExistsFn&& exists)
+      : num_workers_(num_workers),
+        worker_of_(num_units, 0),
+        units_by_worker_(num_workers) {
+    GRAPHITE_CHECK(num_workers >= 1);
+    if (!placement.is_hash()) {
+      GRAPHITE_CHECK(placement.map_size() == num_units);
+    }
+    for (uint32_t u = 0; u < num_units; ++u) {
+      if (!exists(u)) continue;
+      const int w = placement.WorkerOf(u, key_of(u), num_workers);
+      GRAPHITE_CHECK(w >= 0 && w < num_workers);
+      worker_of_[u] = w;
+      units_by_worker_[w].push_back(u);
+    }
+#ifndef NDEBUG
+    // Single-source-of-truth check: the default policy must agree with
+    // HashPartitioner exactly — the plane replaced the engines' hand-built
+    // worker_of vectors, and this is the proof nothing drifted.
+    if (placement.is_hash()) {
+      HashPartitioner reference(num_workers);
+      for (uint32_t u = 0; u < num_units; ++u) {
+        if (!exists(u)) continue;
+        GRAPHITE_CHECK(worker_of_[u] == reference.WorkerOf(key_of(u)));
+      }
+    }
+#endif
+  }
+
+  template <typename KeyFn>
+  WorkerMap(size_t num_units, int num_workers, const Placement& placement,
+            KeyFn&& key_of)
+      : WorkerMap(num_units, num_workers, placement,
+                  std::forward<KeyFn>(key_of), [](uint32_t) { return true; }) {}
+
+  int num_workers() const { return num_workers_; }
+  size_t num_units() const { return worker_of_.size(); }
+  int WorkerOf(uint32_t unit) const { return worker_of_[unit]; }
+  const std::vector<int>& worker_of() const { return worker_of_; }
+  /// Units owned by worker w, in unit order.
+  const std::vector<uint32_t>& units_of(int w) const {
+    return units_by_worker_[w];
+  }
+  /// Owned-unit counts, in the shape SuperstepRuntime's ctor wants.
+  std::vector<size_t> worker_sizes() const {
+    std::vector<size_t> sizes(num_workers_);
+    for (int w = 0; w < num_workers_; ++w) {
+      sizes[w] = units_by_worker_[w].size();
+    }
+    return sizes;
+  }
+
+ private:
+  int num_workers_;
+  std::vector<int> worker_of_;
+  std::vector<std::vector<uint32_t>> units_by_worker_;
+};
+
+/// The per-run delivery state for one engine: per-destination-worker
+/// FlatInboxes over a shared span table, mail flags with per-destination
+/// mailed lists (the barrier clears exactly these — no O(n) scan — and
+/// each list doubles as Seal's unit layout order), and the Route loop.
+///
+/// `Item` is what compute consumes per message (e.g. TemporalItem for ICM,
+/// the raw Message for VCM). Usually the inbox universe equals the map's
+/// units; Chlonos passes a larger `num_units` (batch-expanded snapshot
+/// units) while routing by its vertex-level map.
+///
+/// Lifecycle per run: construct → SuperstepRuntime(map().worker_sizes())
+/// → Bind(&rt) → per superstep { compute reads MessagesFor / HasMail →
+/// Barrier() → Route(...) } with Deliver+Seal used directly for initial
+/// seeds and checkpoint restore.
+template <typename Item>
+class DeliveryPlane {
+ public:
+  explicit DeliveryPlane(WorkerMap map, size_t num_units = 0)
+      : map_(std::move(map)) {
+    const size_t n = num_units == 0 ? map_.num_units() : num_units;
+    has_mail_.assign(n, 0);
+    mailed_.resize(map_.num_workers());
+    spans_ = InboxSpanTable(n);
+    inbox_.resize(map_.num_workers());
+    col_bytes_.assign(map_.num_workers(), 0);
+    col_any_.assign(map_.num_workers(), 0);
+  }
+
+  /// Attaches each destination worker's inbox to its runtime arena. The
+  /// runtime must be built for map().worker_sizes() and outlive the plane's
+  /// use.
+  void Bind(SuperstepRuntime* rt) {
+    rt_ = rt;
+    for (int w = 0; w < map_.num_workers(); ++w) {
+      inbox_[w].Init(&rt->worker_arena(w), &spans_);
+    }
+  }
+
+  const WorkerMap& map() const { return map_; }
+  int num_workers() const { return map_.num_workers(); }
+  size_t num_units() const { return has_mail_.size(); }
+
+  bool HasMail(uint32_t unit) const { return has_mail_[unit] != 0; }
+  /// The raw flag byte — what checkpoint sections persist.
+  uint8_t MailFlag(uint32_t unit) const { return has_mail_[unit]; }
+  /// Unit's sealed messages, in arrival order (valid Seal → Barrier).
+  std::span<const Item> MessagesFor(int worker, uint32_t unit) const {
+    return inbox_[worker].MessagesFor(unit);
+  }
+  /// Undelivered-message count (checkpoint encode).
+  size_t InboxCountFor(int worker, uint32_t unit) const {
+    return inbox_[worker].CountFor(unit);
+  }
+
+  /// Stages one item into `dst`'s inbox and tracks first arrival. Must be
+  /// called from dst's delivery lane (or single-threaded setup code).
+  void Deliver(int dst, uint32_t unit, Item item) {
+    inbox_[dst].Deliver(unit, std::move(item));
+    if (!has_mail_[unit]) {
+      has_mail_[unit] = 1;
+      mailed_[dst].push_back(unit);
+    }
+  }
+
+  /// Groups dst's staged items by unit (engine/flat_inbox.h). Safe on an
+  /// empty superstep — no deliveries seals to no spans.
+  void Seal(int dst) { inbox_[dst].Seal(mailed_[dst]); }
+  void SealAll() {
+    for (int w = 0; w < map_.num_workers(); ++w) Seal(w);
+  }
+
+  /// Superstep barrier: clear the mail flags via the mailed lists, drop
+  /// the consumed inboxes, and reset every worker arena. This is the ONLY
+  /// point where those arenas reset (DESIGN.md §4f): compute has consumed
+  /// the inboxes, and the next Route refills them.
+  void Barrier() {
+    for (int w = 0; w < map_.num_workers(); ++w) {
+      for (const uint32_t u : mailed_[w]) has_mail_[u] = 0;
+      inbox_[w].ResetAtBarrier(mailed_[w]);
+      mailed_[w].clear();
+      rt_->worker_arena(w).Reset();
+    }
+  }
+
+  /// The messaging phase all four engines shared: carries every filled
+  /// wire row through `transport` and decodes each destination's frames on
+  /// its own delivery lane, then Seals it. `wire[r][dst]` is row r's
+  /// buffer for destination dst and `row_src[r]` its source worker; rows
+  /// must be grouped by source worker in worker order (chunk order), which
+  /// is what makes arrival order equal sequential mode's byte for byte.
+  /// `decode` reads ONE message from the Reader and Delivers it (the
+  /// engine's wire format lives entirely in that lambda). Accumulates
+  /// message_bytes / worker_in_bytes / thread_messaging_ns into *ss;
+  /// returns whether any row carried bytes (the engines' halt signal).
+  template <typename DecodeFn>
+  bool Route(Transport& transport, std::span<std::vector<Writer>> wire,
+             std::span<const int> row_src, SuperstepMetrics* ss,
+             DecodeFn&& decode) {
+    const int num_workers = map_.num_workers();
+    std::fill(col_bytes_.begin(), col_bytes_.end(), int64_t{0});
+    std::fill(col_any_.begin(), col_any_.end(), uint8_t{0});
+    rt_->ParallelFor(num_workers, &ss->thread_messaging_ns, [&](int dst, int) {
+      for (size_t r = 0; r < wire.size(); ++r) {
+        Writer& row = wire[r][dst];
+        if (row.size() == 0) continue;
+        col_bytes_[dst] += static_cast<int64_t>(row.size());
+        if (row_src[r] != dst) {
+          ss->worker_in_bytes[dst] += static_cast<int64_t>(row.size());
+        }
+        col_any_[dst] = 1;
+        transport.Ship(row_src[r], dst, &row);
+      }
+      const size_t frames = transport.NumFrames(dst);
+      for (size_t k = 0; k < frames; ++k) {
+        Reader reader(transport.Frame(dst, k));
+        while (!reader.AtEnd()) decode(reader, dst);
+      }
+      transport.Consume(dst);
+      Seal(dst);
+    });
+    bool any_message = false;
+    for (int dst = 0; dst < num_workers; ++dst) {
+      ss->message_bytes += col_bytes_[dst];
+      if (col_any_[dst]) any_message = true;
+    }
+    return any_message;
+  }
+
+ private:
+  WorkerMap map_;
+  SuperstepRuntime* rt_ = nullptr;
+  std::vector<uint8_t> has_mail_;
+  std::vector<std::vector<uint32_t>> mailed_;
+  InboxSpanTable spans_{0};
+  std::vector<FlatInbox<Item>> inbox_;
+  // Per-destination byte/activity accumulators, written only by each
+  // destination's lane during Route, summed after the barrier.
+  std::vector<int64_t> col_bytes_;
+  std::vector<uint8_t> col_any_;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ENGINE_DELIVERY_H_

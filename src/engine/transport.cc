@@ -1,0 +1,120 @@
+#include "engine/transport.h"
+
+#include <utility>
+
+#include "util/status.h"
+#include "util/varint.h"
+
+namespace graphite {
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return "in_process";
+    case TransportKind::kLoopbackWire:
+      return "loopback_wire";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Zero-copy default: the "channel" is a list of pointers into the
+/// senders' row buffers. The destination decodes in place; Consume clears
+/// the rows for the next superstep's refill.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(int num_workers) : rows_(num_workers) {}
+
+  TransportKind kind() const override { return TransportKind::kInProcess; }
+
+  void Ship(int /*src_worker*/, int dst_worker, Writer* row) override {
+    rows_[dst_worker].push_back(row);
+  }
+
+  size_t NumFrames(int dst_worker) const override {
+    return rows_[dst_worker].size();
+  }
+
+  std::string_view Frame(int dst_worker, size_t k) const override {
+    return rows_[dst_worker][k]->buffer();
+  }
+
+  void Consume(int dst_worker) override {
+    for (Writer* row : rows_[dst_worker]) row->Clear();
+    rows_[dst_worker].clear();
+  }
+
+ private:
+  std::vector<std::vector<Writer*>> rows_;
+};
+
+/// Wire-faithful loopback: every shipped row is length-prefix framed into
+/// a per-destination byte stream — the exact shape a socket send loop
+/// would produce — and the sender's row is cleared at once, so decode can
+/// only ever read the copied wire bytes. A real socket backend replaces
+/// the stream with the peer's receive buffer; the frame table is what its
+/// receive loop would rebuild from the length prefixes.
+class LoopbackWireTransport final : public Transport {
+ public:
+  explicit LoopbackWireTransport(int num_workers) : channels_(num_workers) {}
+
+  TransportKind kind() const override { return TransportKind::kLoopbackWire; }
+
+  void Ship(int /*src_worker*/, int dst_worker, Writer* row) override {
+    Channel& ch = channels_[dst_worker];
+    ch.stream.WriteU64(row->size());
+    const size_t offset = ch.stream.size();
+    ch.stream.Append(row->buffer());
+    ch.frames.push_back({offset, row->size()});
+    row->Clear();  // The bytes have left the sender.
+  }
+
+  size_t NumFrames(int dst_worker) const override {
+    return channels_[dst_worker].frames.size();
+  }
+
+  std::string_view Frame(int dst_worker, size_t k) const override {
+    const Channel& ch = channels_[dst_worker];
+    const auto [offset, len] = ch.frames[k];
+    return std::string_view(ch.stream.buffer()).substr(offset, len);
+  }
+
+  void Consume(int dst_worker) override {
+    Channel& ch = channels_[dst_worker];
+    // Replay the envelope the way a receive loop would, proving the
+    // stream deframes to exactly the frames that were handed out.
+    size_t pos = 0;
+    for (const auto& [offset, len] : ch.frames) {
+      uint64_t framed = 0;
+      GRAPHITE_CHECK(GetVarint64(ch.stream.buffer(), &pos, &framed));
+      GRAPHITE_CHECK(framed == len && pos == offset);
+      pos += len;
+    }
+    GRAPHITE_CHECK(pos == ch.stream.size());
+    ch.stream.Clear();
+    ch.frames.clear();
+  }
+
+ private:
+  struct Channel {
+    Writer stream;  // contiguous framed bytes, reused across supersteps
+    std::vector<std::pair<size_t, size_t>> frames;  // (offset, len)
+  };
+  std::vector<Channel> channels_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_workers) {
+  switch (kind) {
+    case TransportKind::kInProcess:
+      return std::make_unique<InProcessTransport>(num_workers);
+    case TransportKind::kLoopbackWire:
+      return std::make_unique<LoopbackWireTransport>(num_workers);
+  }
+  GRAPHITE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace graphite

@@ -1,0 +1,86 @@
+// Transport backends for the delivery plane (engine/delivery.h). A
+// Transport carries filled wire rows — §VI varint-encoded message batches,
+// one row per (source chunk, destination worker) — from the compute phase
+// to the destination worker's delivery lane. Frame granularity keeps the
+// virtual dispatch off the per-message path: one Ship/Frame call moves an
+// entire row, so the cost of the seam is a handful of calls per superstep.
+//
+// Two backends:
+//
+//   InProcessTransport    — the default zero-copy path. Ship records a
+//                           pointer to the sender's row; the destination
+//                           decodes straight out of the sender's buffer
+//                           and Consume clears it. Bytes never move, which
+//                           is exactly what today's single-process engines
+//                           did inline.
+//   LoopbackWireTransport — the wire-faithful path. Ship copies the row's
+//                           bytes into a per-destination staging stream
+//                           (with an offset/length frame table standing in
+//                           for socket framing) and clears the sender's
+//                           row immediately — send() semantics: once
+//                           shipped, the bytes live only on the channel.
+//                           Decoding then provably reads nothing but wire
+//                           bytes. This is the seam where a future
+//                           multi-process socket backend plugs in (see
+//                           ROADMAP "Open items").
+//
+// Concurrency contract: all calls for a given destination worker — Ship
+// into it, Frame reads, Consume — are made by that destination's delivery
+// lane only (the plane's per-destination ParallelFor guarantees this).
+// Channels for different destinations share no mutable state.
+//
+// Allocation contract: both backends reuse their per-destination storage
+// across supersteps, so a steady-state superstep allocates nothing here
+// (BENCH_warp_alloc gates this).
+#ifndef GRAPHITE_ENGINE_TRANSPORT_H_
+#define GRAPHITE_ENGINE_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/serde.h"
+
+namespace graphite {
+
+/// Which transport backend a run routes its messages through. Part of
+/// RuntimeOptions so every engine exposes it uniformly.
+enum class TransportKind {
+  kInProcess,     ///< zero-copy in-process hop (default)
+  kLoopbackWire,  ///< copy through a staged wire channel and back
+};
+
+const char* TransportKindName(TransportKind kind);
+
+/// One hop of the delivery plane: rows in at the source, frames out at the
+/// destination, in ship order. See the file comment for the concurrency
+/// and allocation contracts.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+
+  /// Ships one filled wire row from `src_worker` to `dst_worker`. The
+  /// backend either aliases the row until Consume (in-process) or copies
+  /// its bytes and Clears it immediately (loopback wire).
+  virtual void Ship(int src_worker, int dst_worker, Writer* row) = 0;
+
+  /// Frames pending for `dst_worker`, in ship order.
+  virtual size_t NumFrames(int dst_worker) const = 0;
+
+  /// The k-th pending frame's bytes. Valid until Consume(dst_worker).
+  virtual std::string_view Frame(int dst_worker, size_t k) const = 0;
+
+  /// Releases `dst_worker`'s frames (and, in-process, Clears the aliased
+  /// sender rows). Call after decoding, once per messaging phase.
+  virtual void Consume(int dst_worker) = 0;
+};
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_workers);
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_ENGINE_TRANSPORT_H_

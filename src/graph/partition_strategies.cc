@@ -115,6 +115,12 @@ std::vector<int> ComputePartition(const TemporalGraph& g,
   return {};
 }
 
+Placement ComputePlacement(const TemporalGraph& g, PartitionStrategy strategy,
+                           int num_workers) {
+  if (strategy == PartitionStrategy::kHash) return Placement::Hash();
+  return Placement::Owned(ComputePartition(g, strategy, num_workers));
+}
+
 PartitionQuality EvaluatePartition(const TemporalGraph& g,
                                    const std::vector<int>& worker_of,
                                    int num_workers) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/partitioner.h"
 #include "graph/temporal_graph.h"
 
 namespace graphite {
@@ -31,6 +32,13 @@ const char* PartitionStrategyName(PartitionStrategy s);
 std::vector<int> ComputePartition(const TemporalGraph& g,
                                   PartitionStrategy strategy,
                                   int num_workers);
+
+/// Same assignment packaged as an owning Placement, ready to drop into any
+/// engine's options — the strategy layer and the delivery plane's
+/// placement seam meet here. kHash returns the hash policy itself (not a
+/// materialized copy), so it is byte-for-byte the engines' default.
+Placement ComputePlacement(const TemporalGraph& g, PartitionStrategy strategy,
+                           int num_workers);
 
 /// Temporal quality of an assignment.
 struct PartitionQuality {

@@ -1,11 +1,19 @@
-// Hash partitioner mapping vertices to workers, mirroring Giraph's default
-// hash partitioner used in the paper's setup (§VII-A4).
+// Vertex placement policies mapping vertices to workers. The default is
+// the hash partitioner mirroring Giraph's, used in the paper's setup
+// (§VII-A4); Placement generalizes it so every engine can take an
+// arbitrary unit->worker map (from graph/partition_strategies.h or the
+// caller) through one seam — the delivery plane (engine/delivery.h)
+// materializes whichever policy the options carry.
 #ifndef GRAPHITE_GRAPH_PARTITIONER_H_
 #define GRAPHITE_GRAPH_PARTITIONER_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "graph/temporal_graph.h"
+#include "util/status.h"
 
 namespace graphite {
 
@@ -34,6 +42,53 @@ class HashPartitioner {
 
  private:
   int num_workers_;
+};
+
+/// A unit->worker placement policy, the single seam every engine routes
+/// through. Default-constructed it is the paper's hash policy (HashId of
+/// the unit's external id, modulo workers — identical to HashPartitioner);
+/// Explicit/Owned wrap a precomputed assignment indexed by unit. Cheap to
+/// copy: explicit maps are borrowed, owned maps are shared.
+class Placement {
+ public:
+  /// Hash policy (the default; §VII-A4).
+  Placement() = default;
+  static Placement Hash() { return Placement(); }
+
+  /// Borrows `map` (indexed by unit, values in [0, num_workers)); the
+  /// caller keeps it alive for the run.
+  static Placement Explicit(const std::vector<int>* map) {
+    Placement p;
+    p.map_ = map;
+    return p;
+  }
+
+  /// Takes ownership of a computed assignment.
+  static Placement Owned(std::vector<int> map) {
+    Placement p;
+    p.owned_ = std::make_shared<const std::vector<int>>(std::move(map));
+    p.map_ = p.owned_.get();
+    return p;
+  }
+
+  bool is_hash() const { return map_ == nullptr; }
+  /// Size of the explicit map; 0 for the hash policy.
+  size_t map_size() const { return map_ == nullptr ? 0 : map_->size(); }
+
+  /// Worker owning unit `unit`, whose partition key (external id) is
+  /// `key`. Explicit maps index by unit; the hash policy spreads the key.
+  int WorkerOf(uint32_t unit, VertexId key, int num_workers) const {
+    if (map_ != nullptr) {
+      GRAPHITE_CHECK(unit < map_->size());
+      return (*map_)[unit];
+    }
+    return static_cast<int>(HashId(static_cast<uint64_t>(key)) %
+                            static_cast<uint64_t>(num_workers));
+  }
+
+ private:
+  const std::vector<int>* map_ = nullptr;
+  std::shared_ptr<const std::vector<int>> owned_;
 };
 
 }  // namespace graphite

@@ -45,6 +45,7 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -53,7 +54,7 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
 #include "ckpt/fault_injector.h"
-#include "engine/flat_inbox.h"
+#include "engine/delivery.h"
 #include "engine/message_traits.h"
 #include "engine/metrics.h"
 #include "engine/parallel.h"
@@ -84,9 +85,12 @@ struct IcmOptions {
   /// Fraction of unit-length messages above which warp is suppressed
   /// (paper default 70%).
   double suppression_threshold = 0.7;
-  /// Optional explicit vertex->worker assignment (indexed by VertexIdx,
-  /// values in [0, num_workers)); nullptr = the default hash partitioner.
-  /// See graph/partition_strategies.h.
+  /// Vertex->worker placement policy (graph/partitioner.h): the paper's
+  /// hash partitioner by default, or any strategy/explicit map.
+  Placement placement;
+  /// Legacy explicit vertex->worker assignment (indexed by VertexIdx,
+  /// values in [0, num_workers)); when non-null it overrides `placement`.
+  /// Prefer Placement::Explicit / graph/partition_strategies.h.
   const std::vector<int>* custom_partition = nullptr;
 };
 
@@ -251,21 +255,17 @@ class IcmEngine {
     const size_t n = g_.num_vertices();
     const int num_workers = options_.num_workers;
     GRAPHITE_CHECK(num_workers >= 1);
-    HashPartitioner partitioner(num_workers);
 
-    std::vector<int> worker_of(n, 0);
-    std::vector<std::vector<VertexIdx>> vertices_by_worker(num_workers);
-    if (options_.custom_partition != nullptr) {
-      GRAPHITE_CHECK(options_.custom_partition->size() == n);
-    }
-    for (VertexIdx v = 0; v < n; ++v) {
-      const int w = options_.custom_partition != nullptr
-                        ? (*options_.custom_partition)[v]
-                        : partitioner.WorkerOf(g_.vertex_id(v));
-      GRAPHITE_CHECK(w >= 0 && w < num_workers);
-      worker_of[v] = w;
-      vertices_by_worker[w].push_back(v);
-    }
+    // Delivery plane (engine/delivery.h): materializes the placement
+    // policy, owns the flat inboxes / mail tracking / messaging loop, and
+    // routes wire rows through the run's transport backend.
+    const Placement placement =
+        options_.custom_partition != nullptr
+            ? Placement::Explicit(options_.custom_partition)
+            : options_.placement;
+    DeliveryPlane<Item> plane(WorkerMap(
+        n, num_workers, placement,
+        [this](uint32_t v) { return g_.vertex_id(v); }));
 
     IcmResult<Program> result;
     auto& states = result.states;
@@ -274,30 +274,14 @@ class IcmEngine {
       states[v] = IntervalMap<State>(g_.vertex_interval(v), program_.Init(v));
     }
 
-    std::vector<size_t> worker_sizes(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
-      worker_sizes[w] = vertices_by_worker[w].size();
-    }
     // The pool (if any) lives here: created once, reused every superstep.
     SuperstepRuntime rt(num_workers, options_.use_threads, options_.runtime,
-                        worker_sizes);
+                        plane.map().worker_sizes());
+    plane.Bind(&rt);
+    const std::unique_ptr<Transport> transport =
+        MakeTransport(options_.runtime.transport, num_workers);
     const int num_chunks = rt.num_chunks();
 
-    // Flat per-worker inboxes (engine/flat_inbox.h): each destination
-    // worker owns one contiguous arena-backed buffer; per-vertex message
-    // runs are (offset, count) spans handed to the warp as zero-copy
-    // views. Steady-state supersteps allocate nothing on this path.
-    InboxSpanTable inbox_spans(n);
-    std::vector<FlatInbox<Item>> inbox(num_workers);
-    for (int w = 0; w < num_workers; ++w) {
-      inbox[w].Init(&rt.worker_arena(w), &inbox_spans);
-    }
-    std::vector<uint8_t> has_mail(n, 0);
-    // Vertices holding unconsumed mail, tracked per destination worker:
-    // the barrier clears exactly these inboxes (no O(n) scan), each list
-    // is written only by its destination's delivery lane, and the list
-    // doubles as the unit layout order for FlatInbox::Seal.
-    std::vector<std::vector<VertexIdx>> mailed(num_workers);
     // Wire buffers, indexed [chunk][dst_worker]. Chunks split each logical
     // worker's vertex list contiguously, so reading a destination column
     // in (src worker, chunk) order yields exactly the bytes sequential
@@ -305,13 +289,13 @@ class IcmEngine {
     // capacity).
     std::vector<std::vector<Writer>> wire(num_chunks);
     for (auto& row : wire) row.resize(num_workers);
+    std::vector<int> row_src(num_chunks);
+    for (int c = 0; c < num_chunks; ++c) row_src[c] = rt.chunk(c).worker;
     // Per-OS-thread scratch and per-chunk counters/timings, hoisted out of
     // the superstep loop.
     std::vector<WorkerScratch> scratch(rt.num_threads());
     std::vector<WorkerCounters> counters(num_chunks);
     std::vector<int64_t> chunk_ns(num_chunks, 0);
-    std::vector<int64_t> col_bytes(num_workers, 0);
-    std::vector<uint8_t> col_any(num_workers, 0);
 
     // Recovery (ckpt/): restore the exact input of a checkpointed
     // superstep — states, mail flags, undelivered inboxes and the carried
@@ -332,19 +316,13 @@ class IcmEngine {
           GRAPHITE_CHECK(f.num_units == n);
           GRAPHITE_CHECK(static_cast<int>(f.sections.size()) == num_workers);
           // Sections cover disjoint owned-vertex sets: decode in parallel.
+          // Each lane Delivers into its own worker's inbox (rebuilding the
+          // mailed list in section order, which is owner order) and Seals.
           std::vector<int64_t> unused_ns;
           rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
-            DecodeSection(f.sections[w], &states, &has_mail, &inbox[w]);
+            DecodeSection(f.sections[w], &states, w, &plane);
+            plane.Seal(w);
           });
-          // Rebuild the per-destination mailed lists in owner order (their
-          // order only affects buffer layout and barrier clearing, not
-          // results), then group the decoded messages for compute.
-          for (int w = 0; w < num_workers; ++w) {
-            for (const VertexIdx v : vertices_by_worker[w]) {
-              if (has_mail[v]) mailed[w].push_back(v);
-            }
-            inbox[w].Seal(mailed[w]);
-          }
           start_superstep = f.superstep;
           result.metrics.resumed_from = f.superstep;
           result.metrics.supersteps = f.counters.supersteps;
@@ -384,14 +362,14 @@ class IcmEngine {
             }
             const int64_t t0 = NowNanos();
             const std::vector<VertexIdx>& mine =
-                vertices_by_worker[chunk.worker];
+                plane.map().units_of(chunk.worker);
             for (size_t i = chunk.begin; i < chunk.end; ++i) {
               const VertexIdx v = mine[i];
               const bool active =
-                  superstep == 0 || options_.always_active || has_mail[v];
+                  superstep == 0 || options_.always_active || plane.HasMail(v);
               if (!active) continue;
-              ProcessVertex(v, superstep, worker_of,
-                            inbox[chunk.worker].MessagesFor(v), &states[v],
+              ProcessVertex(v, superstep, plane.map().worker_of(),
+                            plane.MessagesFor(chunk.worker, v), &states[v],
                             &wire[c], &counters[c], &scratch[thread]);
               // (wire[c] is this chunk's per-destination buffer row.)
             }
@@ -424,56 +402,23 @@ class IcmEngine {
       // for superstep+1, so a checkpoint encoded after messaging may still
       // reference arena-backed storage.
       const int64_t barrier_t = NowNanos();
-      for (int w = 0; w < num_workers; ++w) {
-        for (const VertexIdx v : mailed[w]) has_mail[v] = 0;
-        inbox[w].ResetAtBarrier(mailed[w]);
-        mailed[w].clear();
-        rt.worker_arena(w).Reset();
-      }
+      plane.Barrier();
       for (WorkerScratch& s : scratch) s.ResetAtBarrier();
       ss.barrier_ns = NowNanos() - barrier_t;
 
-      // Messaging phase: each destination worker deserializes its own wire
-      // column. Messages are routed by owner, so columns touch disjoint
-      // inboxes and the deliveries run concurrently on the pool.
+      // Messaging phase: the plane carries every wire row through the
+      // transport and each destination lane decodes its own frames — the
+      // decode lambda is the whole per-message wire format.
       const int64_t msg_t = NowNanos();
-      std::fill(col_bytes.begin(), col_bytes.end(), int64_t{0});
-      std::fill(col_any.begin(), col_any.end(), uint8_t{0});
-      rt.ParallelFor(num_workers, &ss.thread_messaging_ns, [&](int dst, int) {
-        for (int src = 0; src < num_workers; ++src) {
-          const auto [c0, c1] = rt.ChunkRange(src);
-          for (int c = c0; c < c1; ++c) {
-            Writer& buf = wire[c][dst];
-            if (buf.size() == 0) continue;
-            col_bytes[dst] += static_cast<int64_t>(buf.size());
-            if (src != dst) {
-              ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
-            }
-            Reader reader(buf.buffer());
-            while (!reader.AtEnd()) {
-              const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
-              Interval iv = ReadInterval(reader);
-              Message msg = MessageTraits<Message>::Read(reader);
-              inbox[dst].Deliver(unit, {iv, std::move(msg)});
-              if (!has_mail[unit]) {
-                has_mail[unit] = 1;
-                mailed[dst].push_back(unit);
-              }
-            }
-            col_any[dst] = 1;
-            buf.Clear();
-          }
-        }
-        // Group this worker's staged messages by vertex: per-vertex runs
-        // become spans for the next compute phase (and checkpoint encode).
-        inbox[dst].Seal(mailed[dst]);
-      });
+      const bool any_message = plane.Route(
+          *transport, std::span<std::vector<Writer>>(wire), row_src, &ss,
+          [&plane](Reader& reader, int dst) {
+            const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
+            Interval iv = ReadInterval(reader);
+            Message msg = MessageTraits<Message>::Read(reader);
+            plane.Deliver(dst, unit, {iv, std::move(msg)});
+          });
       ss.messaging_ns = NowNanos() - msg_t;
-      bool any_message = false;
-      for (int dst = 0; dst < num_workers; ++dst) {
-        ss.message_bytes += col_bytes[dst];
-        if (col_any[dst]) any_message = true;
-      }
 
       result.metrics.Accumulate(ss);
       const bool halting = !any_message && !options_.always_active;
@@ -502,8 +447,7 @@ class IcmEngine {
           // on the run's pool.
           std::vector<int64_t> unused_ns;
           rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
-            frame.sections[w] = EncodeSection(vertices_by_worker[w], states,
-                                              has_mail, inbox[w]);
+            frame.sections[w] = EncodeSection(w, states, plane);
           });
           const Status committed =
               store->Commit(frame.superstep, EncodeFrame(frame));
@@ -531,22 +475,21 @@ class IcmEngine {
 
   /// One logical worker's slice of a checkpoint frame: per owned vertex,
   /// the mail flag, the partitioned interval states, and the undelivered
-  /// inbox for the next superstep.
-  std::string EncodeSection(const std::vector<VertexIdx>& mine,
+  /// inbox for the next superstep — all read through the delivery plane.
+  std::string EncodeSection(int worker,
                             const std::vector<IntervalMap<State>>& states,
-                            const std::vector<uint8_t>& has_mail,
-                            const FlatInbox<Item>& inbox) const {
+                            const DeliveryPlane<Item>& plane) const {
     Writer w;
-    for (const VertexIdx v : mine) {
+    for (const VertexIdx v : plane.map().units_of(worker)) {
       w.WriteU64(v);
-      w.WriteByte(has_mail[v]);
+      w.WriteByte(plane.MailFlag(v));
       w.WriteU64(states[v].size());
       for (const StateEntry& e : states[v].entries()) {
         WriteInterval(w, e.interval);
         MessageTraits<State>::Write(w, e.value);
       }
-      w.WriteU64(inbox.CountFor(v));
-      for (const Item& m : inbox.MessagesFor(v)) {
+      w.WriteU64(plane.InboxCountFor(worker, v));
+      for (const Item& m : plane.MessagesFor(worker, v)) {
         WriteInterval(w, m.interval);
         MessageTraits<Message>::Write(w, m.value);
       }
@@ -558,17 +501,17 @@ class IcmEngine {
   /// bytes, so reads are the fast aborting kind. States are adopted
   /// verbatim (FromEntries) — rebuilding via Set() would both be quadratic
   /// and risk a different (coalesced) partition than the one persisted.
-  /// Messages are staged into the owning worker's flat inbox in section
-  /// order; the caller Seals after rebuilding the mailed lists.
+  /// Messages are restored through plane->Deliver in section order (owner
+  /// order), which rebuilds the mail flags and mailed list exactly as the
+  /// encoding run had them; the caller Seals worker's inbox after.
   void DecodeSection(const std::string& bytes,
-                     std::vector<IntervalMap<State>>* states,
-                     std::vector<uint8_t>* has_mail,
-                     FlatInbox<Item>* inbox) const {
+                     std::vector<IntervalMap<State>>* states, int worker,
+                     DeliveryPlane<Item>* plane) const {
     Reader r(bytes);
     while (!r.AtEnd()) {
       const VertexIdx v = static_cast<VertexIdx>(r.ReadU64());
       GRAPHITE_CHECK(v < states->size());
-      (*has_mail)[v] = r.ReadByte();
+      const uint8_t mail_flag = r.ReadByte();
       const uint64_t num_entries = r.ReadU64();
       std::vector<StateEntry> entries;
       entries.reserve(num_entries);
@@ -578,9 +521,12 @@ class IcmEngine {
       }
       (*states)[v] = IntervalMap<State>::FromEntries(std::move(entries));
       const uint64_t num_msgs = r.ReadU64();
+      // The flag is derivable (set iff the vertex holds messages); keep
+      // it on the wire for format stability and verify it here.
+      GRAPHITE_CHECK((mail_flag != 0) == (num_msgs > 0));
       for (uint64_t i = 0; i < num_msgs; ++i) {
         const Interval iv = ReadInterval(r);
-        inbox->Deliver(v, {iv, MessageTraits<Message>::Read(r)});
+        plane->Deliver(worker, v, {iv, MessageTraits<Message>::Read(r)});
       }
     }
   }

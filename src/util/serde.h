@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/buffer_tuning.h"
@@ -28,6 +29,9 @@ class Writer {
     WriteU64(s.size());
     buf_.append(s);
   }
+  /// Appends raw bytes with NO length prefix. For transport framing that
+  /// carries its own envelope (the payload is already self-describing).
+  void Append(std::string_view s) { buf_.append(s); }
   /// Appends a length-prefixed vector of signed varints.
   void WriteI64Vec(const std::vector<int64_t>& v) {
     WriteU64(v.size());
@@ -64,7 +68,10 @@ class Writer {
 /// corruption indicates an engine bug, not bad user data.
 class Reader {
  public:
-  explicit Reader(const std::string& buf) : buf_(buf) {}
+  /// Accepts any contiguous byte range (std::string converts implicitly).
+  /// The bytes must outlive the Reader — frames sliced out of a transport
+  /// stream stay valid until that channel is consumed.
+  explicit Reader(std::string_view buf) : buf_(buf) {}
 
   uint64_t ReadU64() {
     uint64_t v = 0;
@@ -83,7 +90,7 @@ class Reader {
   std::string ReadBytes() {
     uint64_t n = ReadU64();
     GRAPHITE_CHECK(pos_ + n <= buf_.size());
-    std::string out = buf_.substr(pos_, n);
+    std::string out(buf_.substr(pos_, n));
     pos_ += n;
     return out;
   }
@@ -121,7 +128,7 @@ class Reader {
       pos_ = at;
       return CorruptAt("length-prefixed bytes");
     }
-    *s = buf_.substr(pos_, n);
+    *s = std::string(buf_.substr(pos_, n));
     pos_ += n;
     return Status::OK();
   }
@@ -136,7 +143,7 @@ class Reader {
                             std::to_string(buf_.size()));
   }
 
-  const std::string& buf_;
+  std::string_view buf_;
   size_t pos_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "util/varint.h"
 
+#include <string_view>
+
 namespace graphite {
 
 void PutVarint64(std::string* out, uint64_t value) {
@@ -10,7 +12,7 @@ void PutVarint64(std::string* out, uint64_t value) {
   out->push_back(static_cast<char>(value));
 }
 
-bool GetVarint64(const std::string& buf, size_t* pos, uint64_t* value) {
+bool GetVarint64(std::string_view buf, size_t* pos, uint64_t* value) {
   uint64_t result = 0;
   int shift = 0;
   size_t p = *pos;

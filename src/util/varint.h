@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace graphite {
 
@@ -17,7 +18,9 @@ void PutVarint64(std::string* out, uint64_t value);
 
 /// Decodes a varint from [*pos, buf.size()). Advances *pos past the varint.
 /// Returns false on truncated input or overlong (>10 byte) encodings.
-bool GetVarint64(const std::string& buf, size_t* pos, uint64_t* value);
+/// Takes a view so callers can decode frames sliced out of a larger
+/// transport stream without copying.
+bool GetVarint64(std::string_view buf, size_t* pos, uint64_t* value);
 
 /// Zig-zag maps a signed value so small magnitudes encode compactly.
 inline uint64_t ZigZagEncode(int64_t v) {
@@ -35,7 +38,7 @@ inline void PutVarint64Signed(std::string* out, int64_t value) {
 }
 
 /// Decodes a zig-zag varint.
-inline bool GetVarint64Signed(const std::string& buf, size_t* pos,
+inline bool GetVarint64Signed(std::string_view buf, size_t* pos,
                               int64_t* value) {
   uint64_t raw = 0;
   if (!GetVarint64(buf, pos, &raw)) return false;

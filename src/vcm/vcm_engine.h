@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -34,7 +35,7 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
 #include "ckpt/fault_injector.h"
-#include "engine/flat_inbox.h"
+#include "engine/delivery.h"
 #include "engine/message_traits.h"
 #include "engine/metrics.h"
 #include "engine/parallel.h"
@@ -51,6 +52,9 @@ struct VcmOptions {
   RuntimeOptions runtime;
   bool always_active = false;
   int max_supersteps = std::numeric_limits<int>::max();
+  /// Unit->worker placement policy (graph/partitioner.h): hash of the
+  /// adapter's PartitionId by default, or any strategy/explicit map.
+  Placement placement;
 };
 
 /// Per-worker send-side context handed to Program::Compute.
@@ -111,50 +115,28 @@ RunMetrics RunVcm(
   const size_t n = adapter.NumUnits();
   const int num_workers = options.num_workers;
   GRAPHITE_CHECK(num_workers >= 1);
-  HashPartitioner partitioner(num_workers);
 
-  // Placement.
-  std::vector<int> worker_of(n);
-  std::vector<std::vector<uint32_t>> units_by_worker(num_workers);
-  for (uint32_t u = 0; u < n; ++u) {
-    if (!adapter.UnitExists(u)) {
-      worker_of[u] = 0;
-      continue;
-    }
-    const int w = partitioner.WorkerOf(adapter.PartitionId(u));
-    worker_of[u] = w;
-    units_by_worker[w].push_back(u);
-  }
+  // Delivery plane (engine/delivery.h): materializes the placement policy
+  // over the adapter's unit universe (non-existent units stay off every
+  // owner list) and owns inboxes, mail tracking and the messaging loop.
+  DeliveryPlane<Message> plane(WorkerMap(
+      n, num_workers, options.placement,
+      [&adapter](uint32_t u) { return adapter.PartitionId(u); },
+      [&adapter](uint32_t u) { return adapter.UnitExists(u); }));
 
   // State.
   std::vector<Value> values(n);
   for (uint32_t u = 0; u < n; ++u) {
     if (adapter.UnitExists(u)) values[u] = program.Init(u);
   }
-  std::vector<uint8_t> has_mail(n, 0);
-  // Units holding unconsumed mail, per destination worker: the barrier
-  // clears exactly these inboxes, each list is written only by its
-  // destination's delivery lane, and the list doubles as the unit layout
-  // order for FlatInbox::Seal.
-  std::vector<std::vector<uint32_t>> mailed(num_workers);
 
-  std::vector<size_t> worker_sizes(num_workers);
-  for (int w = 0; w < num_workers; ++w) {
-    worker_sizes[w] = units_by_worker[w].size();
-  }
   // Persistent pool + fixed chunk table, reused across supersteps.
   SuperstepRuntime rt(num_workers, options.use_threads, options.runtime,
-                      worker_sizes);
+                      plane.map().worker_sizes());
+  plane.Bind(&rt);
+  const std::unique_ptr<Transport> transport =
+      MakeTransport(options.runtime.transport, num_workers);
   const int num_chunks = rt.num_chunks();
-
-  // Flat per-worker inboxes (engine/flat_inbox.h): one contiguous
-  // arena-backed buffer per destination worker, per-unit message runs as
-  // zero-copy spans; nothing allocates on this path in steady state.
-  InboxSpanTable inbox_spans(n);
-  std::vector<FlatInbox<Message>> inbox(num_workers);
-  for (int w = 0; w < num_workers; ++w) {
-    inbox[w].Init(&rt.worker_arena(w), &inbox_spans);
-  }
 
   // Checkpointing needs the unit Value on the wire too (the Message
   // already has traits by the engine contract); see ckpt/checkpoint.h.
@@ -166,12 +148,12 @@ RunMetrics RunVcm(
   auto encode_section = [&](int w) {
     Writer enc;
     if constexpr (kCheckpointable) {
-      for (const uint32_t u : units_by_worker[w]) {
+      for (const uint32_t u : plane.map().units_of(w)) {
         enc.WriteU64(u);
-        enc.WriteByte(has_mail[u]);
+        enc.WriteByte(plane.MailFlag(u));
         MessageTraits<Value>::Write(enc, values[u]);
-        enc.WriteU64(inbox[w].CountFor(u));
-        for (const Message& m : inbox[w].MessagesFor(u)) {
+        enc.WriteU64(plane.InboxCountFor(w, u));
+        for (const Message& m : plane.MessagesFor(w, u)) {
           MessageTraits<Message>::Write(enc, m);
         }
       }
@@ -179,19 +161,21 @@ RunMetrics RunVcm(
     return enc.Release();
   };
   // Inverse; the store's CRC already vouched for the bytes, so reads are
-  // the fast aborting kind. Messages are staged into worker w's flat
-  // inbox; the caller Seals after rebuilding the mailed lists.
+  // the fast aborting kind. Messages are restored through plane.Deliver in
+  // section order (owner order), which rebuilds the mail flags and mailed
+  // list exactly as the encoding run had them; the caller Seals after.
   auto decode_section = [&](int w, const std::string& bytes) {
     if constexpr (kCheckpointable) {
       Reader r(bytes);
       while (!r.AtEnd()) {
         const uint32_t u = static_cast<uint32_t>(r.ReadU64());
         GRAPHITE_CHECK(u < n);
-        has_mail[u] = r.ReadByte();
+        const uint8_t mail_flag = r.ReadByte();
         values[u] = MessageTraits<Value>::Read(r);
         const uint64_t num_msgs = r.ReadU64();
+        GRAPHITE_CHECK((mail_flag != 0) == (num_msgs > 0));
         for (uint64_t i = 0; i < num_msgs; ++i) {
-          inbox[w].Deliver(u, MessageTraits<Message>::Read(r));
+          plane.Deliver(w, u, MessageTraits<Message>::Read(r));
         }
       }
     }
@@ -215,18 +199,12 @@ RunMetrics RunVcm(
         GRAPHITE_CHECK(f.num_units == n);
         GRAPHITE_CHECK(static_cast<int>(f.sections.size()) == num_workers);
         // Sections cover disjoint owned-unit sets: decode in parallel.
+        // Each lane Delivers into its own worker's inbox and Seals.
         std::vector<int64_t> unused_ns;
-        rt.ParallelFor(num_workers, &unused_ns,
-                       [&](int w, int) { decode_section(w, f.sections[w]); });
-        // Rebuild the per-destination mailed lists in owner order (their
-        // order only affects buffer layout and barrier clearing, not
-        // results), then group the decoded messages for compute.
-        for (int w = 0; w < num_workers; ++w) {
-          for (const uint32_t u : units_by_worker[w]) {
-            if (has_mail[u]) mailed[w].push_back(u);
-          }
-          inbox[w].Seal(mailed[w]);
-        }
+        rt.ParallelFor(num_workers, &unused_ns, [&](int w, int) {
+          decode_section(w, f.sections[w]);
+          plane.Seal(w);
+        });
         start_superstep = f.superstep;
         resumed = true;
         metrics.resumed_from = f.superstep;
@@ -245,13 +223,9 @@ RunMetrics RunVcm(
   if (!resumed) {
     for (const auto& [unit, msg] : initial_messages) {
       GRAPHITE_CHECK(unit < n && adapter.UnitExists(unit));
-      inbox[worker_of[unit]].Deliver(unit, msg);
-      if (!has_mail[unit]) {
-        has_mail[unit] = 1;
-        mailed[worker_of[unit]].push_back(unit);
-      }
+      plane.Deliver(plane.map().WorkerOf(unit), unit, msg);
     }
-    for (int w = 0; w < num_workers; ++w) inbox[w].Seal(mailed[w]);
+    plane.SealAll();
   }
 
   // Wire buffers, indexed [chunk][dst_worker]; chunk rows concatenate in
@@ -259,11 +233,11 @@ RunMetrics RunVcm(
   // across supersteps (Clear keeps capacity).
   std::vector<std::vector<Writer>> wire(num_chunks);
   for (auto& row : wire) row.resize(num_workers);
+  std::vector<int> row_src(num_chunks);
+  for (int c = 0; c < num_chunks; ++c) row_src[c] = rt.chunk(c).worker;
   std::vector<int64_t> chunk_messages(num_chunks, 0);
   std::vector<int64_t> chunk_calls(num_chunks, 0);
   std::vector<int64_t> chunk_ns(num_chunks, 0);
-  std::vector<int64_t> col_bytes(num_workers, 0);
-  std::vector<uint8_t> col_any(num_workers, 0);
 
   std::atomic<bool> killed{false};
   const int64_t run_start = NowNanos();
@@ -288,16 +262,18 @@ RunMetrics RunVcm(
             return;
           }
           const int64_t t0 = NowNanos();
-          VcmContext<Message> ctx(superstep, chunk.worker, worker_of, &wire[c],
+          VcmContext<Message> ctx(superstep, chunk.worker,
+                                  plane.map().worker_of(), &wire[c],
                                   &chunk_messages[c]);
-          const std::vector<uint32_t>& mine = units_by_worker[chunk.worker];
+          const std::vector<uint32_t>& mine =
+              plane.map().units_of(chunk.worker);
           for (size_t i = chunk.begin; i < chunk.end; ++i) {
             const uint32_t u = mine[i];
             const bool active =
-                superstep == 0 || options.always_active || has_mail[u];
+                superstep == 0 || options.always_active || plane.HasMail(u);
             if (!active) continue;
             program.Compute(ctx, u, values[u],
-                            inbox[chunk.worker].MessagesFor(u));
+                            plane.MessagesFor(chunk.worker, u));
             ++chunk_calls[c];
           }
           chunk_ns[c] = NowNanos() - t0;
@@ -324,52 +300,20 @@ RunMetrics RunVcm(
     // phase below refills them for superstep+1, and a checkpoint encoded
     // after messaging may still reference arena-backed storage. ---
     const int64_t barrier_t = NowNanos();
-    for (int w = 0; w < num_workers; ++w) {
-      for (const uint32_t u : mailed[w]) has_mail[u] = 0;
-      inbox[w].ResetAtBarrier(mailed[w]);
-      mailed[w].clear();
-      rt.worker_arena(w).Reset();
-    }
+    plane.Barrier();
     ss.barrier_ns = NowNanos() - barrier_t;
 
-    // --- Messaging: per-destination columns delivered concurrently. ---
+    // --- Messaging: the plane routes every wire row through the transport
+    // and each destination lane decodes its own frames. ---
     const int64_t msg_t = NowNanos();
-    std::fill(col_bytes.begin(), col_bytes.end(), int64_t{0});
-    std::fill(col_any.begin(), col_any.end(), uint8_t{0});
-    rt.ParallelFor(num_workers, &ss.thread_messaging_ns, [&](int dst, int) {
-      for (int src = 0; src < num_workers; ++src) {
-        const auto [c0, c1] = rt.ChunkRange(src);
-        for (int c = c0; c < c1; ++c) {
-          Writer& buf = wire[c][dst];
-          if (buf.size() == 0) continue;
-          col_bytes[dst] += static_cast<int64_t>(buf.size());
-          if (src != dst) {
-            ss.worker_in_bytes[dst] += static_cast<int64_t>(buf.size());
-          }
-          Reader reader(buf.buffer());
-          while (!reader.AtEnd()) {
-            const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
-            Message msg = MessageTraits<Message>::Read(reader);
-            inbox[dst].Deliver(unit, std::move(msg));
-            if (!has_mail[unit]) {
-              has_mail[unit] = 1;
-              mailed[dst].push_back(unit);
-            }
-          }
-          col_any[dst] = 1;
-          buf.Clear();
-        }
-      }
-      // Group this worker's staged messages by unit: per-unit runs become
-      // spans for the next compute phase (and checkpoint encode).
-      inbox[dst].Seal(mailed[dst]);
-    });
+    const bool any_message = plane.Route(
+        *transport, std::span<std::vector<Writer>>(wire), row_src, &ss,
+        [&plane](Reader& reader, int dst) {
+          const uint32_t unit = static_cast<uint32_t>(reader.ReadU64());
+          Message msg = MessageTraits<Message>::Read(reader);
+          plane.Deliver(dst, unit, std::move(msg));
+        });
     ss.messaging_ns = NowNanos() - msg_t;
-    bool any_message = false;
-    for (int dst = 0; dst < num_workers; ++dst) {
-      ss.message_bytes += col_bytes[dst];
-      if (col_any[dst]) any_message = true;
-    }
 
     metrics.Accumulate(ss);
     // Always-active programs run to max_supersteps (the loop bound);

@@ -64,8 +64,13 @@ TEST(ThreadPoolTest, AtomicCursorDrainClaimsEachItemOnce) {
   for (int i = 0; i < kItems; ++i) ASSERT_EQ(claimed[i].load(), 1) << i;
 }
 
-// --- The determinism matrix (ISSUE 1): {sequential, spawn, pool x2,
-// pool x8 stealing} x {1, 3, 7} logical workers must agree exactly. ---
+// --- The determinism matrix (ISSUE 1, transport axis from ISSUE 5):
+// {sequential, spawn, pool x2, pool x8 stealing} x {in-process, loopback
+// wire} x {1, 3, 7} logical workers must agree exactly. The delivery
+// plane visits wire rows in chunk order and decodes frames in write
+// order, so even the loopback transport — which copies every row through
+// the §VI wire encoding — reproduces sequential results byte for byte,
+// message counts included. ---
 
 struct ModeSpec {
   const char* name;
@@ -83,13 +88,24 @@ const ModeSpec kModes[] = {
     {"steal8", true, Scheduling::kStealing, 8, 4},
 };
 
-IcmOptions MakeOptions(const ModeSpec& mode, int workers) {
+const TransportKind kTransports[] = {TransportKind::kInProcess,
+                                     TransportKind::kLoopbackWire};
+
+std::string MatrixLabel(const ModeSpec& mode, TransportKind transport,
+                        int workers) {
+  return std::string(mode.name) + "/" + TransportKindName(transport) +
+         " w=" + std::to_string(workers);
+}
+
+IcmOptions MakeOptions(const ModeSpec& mode, int workers,
+                       TransportKind transport = TransportKind::kInProcess) {
   IcmOptions options;
   options.num_workers = workers;
   options.use_threads = mode.use_threads;
   options.runtime.scheduling = mode.scheduling;
   options.runtime.num_threads = mode.num_threads;
   options.runtime.chunk_size = mode.chunk_size;
+  options.runtime.transport = transport;
   return options;
 }
 
@@ -137,11 +153,13 @@ TEST_P(RuntimeDeterminismTest, SsspMatrix) {
     const auto want =
         IcmEngine<IcmSssp>::Run(g, program, MakeOptions(kModes[0], workers));
     for (const ModeSpec& mode : kModes) {
-      IcmSssp p(g, g.vertex_id(0));
-      const auto got = IcmEngine<IcmSssp>::Run(g, p, MakeOptions(mode, workers));
-      ExpectIdentical(want, got,
-                      (std::string(mode.name) + " w=" + std::to_string(workers))
-                          .c_str());
+      for (const TransportKind transport : kTransports) {
+        IcmSssp p(g, g.vertex_id(0));
+        const auto got = IcmEngine<IcmSssp>::Run(
+            g, p, MakeOptions(mode, workers, transport));
+        ExpectIdentical(want, got,
+                        MatrixLabel(mode, transport, workers).c_str());
+      }
     }
   }
 }
@@ -157,10 +175,13 @@ TEST_P(RuntimeDeterminismTest, PageRankMatrix) {
     const auto want = IcmEngine<IcmPageRank>::Run(
         g, program, PageRankOptions(MakeOptions(kModes[0], workers)));
     for (const ModeSpec& mode : kModes) {
-      IcmPageRank p(g);
-      const auto got = IcmEngine<IcmPageRank>::Run(
-          g, p, PageRankOptions(MakeOptions(mode, workers)));
-      ExpectIdentical(want, got, mode.name);
+      for (const TransportKind transport : kTransports) {
+        IcmPageRank p(g);
+        const auto got = IcmEngine<IcmPageRank>::Run(
+            g, p, PageRankOptions(MakeOptions(mode, workers, transport)));
+        ExpectIdentical(want, got,
+                        MatrixLabel(mode, transport, workers).c_str());
+      }
     }
   }
 }
@@ -181,11 +202,14 @@ TEST_P(RuntimeDeterminismTest, SuppressionMatrix) {
     const auto want = IcmEngine<IcmSssp>::Run(g, program, base);
     EXPECT_GE(want.suppressed_vertices, 0);
     for (const ModeSpec& mode : kModes) {
-      IcmSssp p(g, g.vertex_id(0));
-      IcmOptions options = MakeOptions(mode, workers);
-      options.suppression_threshold = 0.3;
-      const auto got = IcmEngine<IcmSssp>::Run(g, p, options);
-      ExpectIdentical(want, got, mode.name);
+      for (const TransportKind transport : kTransports) {
+        IcmSssp p(g, g.vertex_id(0));
+        IcmOptions options = MakeOptions(mode, workers, transport);
+        options.suppression_threshold = 0.3;
+        const auto got = IcmEngine<IcmSssp>::Run(g, p, options);
+        ExpectIdentical(want, got,
+                        MatrixLabel(mode, transport, workers).c_str());
+      }
     }
   }
 }
@@ -193,9 +217,10 @@ TEST_P(RuntimeDeterminismTest, SuppressionMatrix) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeDeterminismTest,
                          ::testing::Values(7, 1234, 987654));
 
-// The runtime is shared by all four engines; every platform's stealing
-// mode must reproduce its own sequential results and message counts
-// exactly (TI algorithms on MSB/Chlonos, TD on TGB/GoFFish).
+// The runtime and delivery plane are shared by all four engines; every
+// platform's stealing mode — over both transports — must reproduce its
+// own sequential results and message counts exactly (TI algorithms on
+// MSB/Chlonos, TD on TGB/GoFFish).
 TEST(RuntimeDeterminismCrossEngine, AllPlatformsMatchSequential) {
   testutil::RandomGraphOptions opt;
   opt.full_lifespan_prob = 0.6;
@@ -209,21 +234,29 @@ TEST(RuntimeDeterminismCrossEngine, AllPlatformsMatchSequential) {
   par.runtime.scheduling = Scheduling::kStealing;
   par.runtime.num_threads = 8;
   par.runtime.chunk_size = 4;
+  RunConfig loop = par;
+  loop.runtime.transport = TransportKind::kLoopbackWire;
 
   const auto check = [&](Platform p, Algorithm a, auto runner,
                          auto absent, const char* what) {
-    RunMetrics ms, mp;
+    RunMetrics ms, mp, ml;
     const auto want = runner(w, p, seq, &ms);
     const auto got = runner(w, p, par, &mp);
+    const auto wired = runner(w, p, loop, &ml);
     for (VertexIdx v = 0; v < w.graph().num_vertices(); ++v) {
       for (TimePoint t = 0; t < w.graph().horizon(); ++t) {
         ASSERT_EQ(ResultAt(want, v, t, absent), ResultAt(got, v, t, absent))
             << what << " v=" << v << " t=" << t;
+        ASSERT_EQ(ResultAt(want, v, t, absent), ResultAt(wired, v, t, absent))
+            << what << "/loopback v=" << v << " t=" << t;
       }
     }
     EXPECT_EQ(ms.messages, mp.messages) << what;
     EXPECT_EQ(ms.message_bytes, mp.message_bytes) << what;
     EXPECT_EQ(ms.compute_calls, mp.compute_calls) << what;
+    EXPECT_EQ(ms.messages, ml.messages) << what << "/loopback";
+    EXPECT_EQ(ms.message_bytes, ml.message_bytes) << what << "/loopback";
+    EXPECT_EQ(ms.compute_calls, ml.compute_calls) << what << "/loopback";
     (void)a;
   };
   const auto bfs = [](Workload& wl, Platform p, const RunConfig& c,
