@@ -21,6 +21,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -302,6 +303,12 @@ int main(int argc, char** argv) {
   {
     char buf[128];
     std::snprintf(buf, sizeof(buf), "  \"scale\": %.3f,\n", scale);
+    json.append(buf);
+    // Recorded so the regression gate can tell whether the baseline's
+    // timing keys were measured on a comparable host (core-count
+    // mismatches downgrade timing gates to warnings).
+    std::snprintf(buf, sizeof(buf), "  \"hardware_concurrency\": %u,\n",
+                  std::thread::hardware_concurrency());
     json.append(buf);
   }
   json.append("  \"datasets\": [\n").append(detail).append("  ],\n");

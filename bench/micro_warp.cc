@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "icm/message.h"
 #include "icm/warp.h"
 #include "temporal/interval_map.h"
@@ -84,6 +86,13 @@ BENCHMARK(BM_TimeWarp)
 // The engines' steady-state path: flat SoA output and sweep scratch out of
 // one arena, reset after each simulated superstep. allocs_per_tuple is
 // expected to be ~0 once the arena's high-water mark is warm.
+//
+// The WarpStats counters attribute the two-pass kernel: merge_hit_rate is
+// the fraction of non-empty slices the maximality merge coalesced (fewer
+// Compute calls downstream), and endpoint_share_% is the fraction of the
+// kernel's internally timed ns spent in the endpoint pass (clip + sort +
+// boundary merge) versus payload materialization — so a future kernel
+// change shows up as a shift in the split, not just total time.
 void BM_TimeWarpInto(benchmark::State& state) {
   const int num_states = static_cast<int>(state.range(0));
   const int num_messages = static_cast<int>(state.range(1));
@@ -94,11 +103,13 @@ void BM_TimeWarpInto(benchmark::State& state) {
   scratch.Attach(&arena);
   WarpOutput out;
   out.Attach(&arena);
+  WarpStats stats;
+  stats.timed = true;
   uint64_t tuples = 0;
   const uint64_t alloc0 = benchalloc::AllocCount();
   const int64_t t0 = NowNanos();
   for (auto _ : state) {
-    TimeWarpInto<int64_t, int64_t>(states, messages, &scratch, &out);
+    TimeWarpInto<int64_t, int64_t>(states, messages, &scratch, &out, &stats);
     tuples += out.size();
     benchmark::DoNotOptimize(out);
     // Superstep barrier: release arena-backed buffers, decay the arena.
@@ -115,12 +126,80 @@ void BM_TimeWarpInto(benchmark::State& state) {
     state.counters["allocs_per_tuple"] =
         static_cast<double>(allocs) / static_cast<double>(tuples);
   }
+  if (stats.slices > 0) {
+    state.counters["merge_hit_rate"] =
+        static_cast<double>(stats.merge_hits) /
+        static_cast<double>(stats.slices);
+    state.counters["endpoint_ns_per_tuple"] =
+        static_cast<double>(stats.endpoint_ns) /
+        static_cast<double>(std::max<int64_t>(1, stats.tuples));
+    state.counters["payload_ns_per_tuple"] =
+        static_cast<double>(stats.payload_ns) /
+        static_cast<double>(std::max<int64_t>(1, stats.tuples));
+    const int64_t pass_ns = stats.endpoint_ns + stats.payload_ns;
+    if (pass_ns > 0) {
+      state.counters["endpoint_share_%"] =
+          100.0 * static_cast<double>(stats.endpoint_ns) /
+          static_cast<double>(pass_ns);
+    }
+  }
 }
 BENCHMARK(BM_TimeWarpInto)
     ->Args({1, 8})
     ->Args({1, 64})
     ->Args({4, 64})
     ->Args({16, 64})
+    ->Args({4, 512})
+    ->Args({16, 4096});
+
+// The §VI inline-combiner kernel, same counters: both passes share the
+// endpoint pass with TimeWarpInto, so comparing the two payload splits
+// isolates the cost of group materialization vs in-sweep folding.
+void BM_TimeWarpCombineInto(benchmark::State& state) {
+  const int num_states = static_cast<int>(state.range(0));
+  const int num_messages = static_cast<int>(state.range(1));
+  const auto states = MakeStates(num_states, 1000, 1);
+  const auto messages = MakeMessages(num_messages, 1000, 2);
+  Arena arena;
+  WarpScratch scratch;
+  scratch.Attach(&arena);
+  SuperstepVec<CombinedWarpTuple<int64_t>> out;
+  out.Attach(&arena);
+  WarpStats stats;
+  stats.timed = true;
+  uint64_t tuples = 0;
+  const int64_t t0 = NowNanos();
+  for (auto _ : state) {
+    TimeWarpCombineInto<int64_t, int64_t>(
+        states, messages,
+        [](int64_t a, int64_t b) { return std::min(a, b); }, &scratch, &out,
+        &stats);
+    tuples += out.size();
+    benchmark::DoNotOptimize(out);
+    scratch.Release();
+    out.Release();
+    arena.Reset();
+  }
+  const int64_t elapsed = NowNanos() - t0;
+  state.SetItemsProcessed(state.iterations() * num_messages);
+  if (tuples > 0) {
+    state.counters["ns_per_tuple"] =
+        static_cast<double>(elapsed) / static_cast<double>(tuples);
+  }
+  if (stats.slices > 0) {
+    state.counters["merge_hit_rate"] =
+        static_cast<double>(stats.merge_hits) /
+        static_cast<double>(stats.slices);
+    const int64_t pass_ns = stats.endpoint_ns + stats.payload_ns;
+    if (pass_ns > 0) {
+      state.counters["endpoint_share_%"] =
+          100.0 * static_cast<double>(stats.endpoint_ns) /
+          static_cast<double>(pass_ns);
+    }
+  }
+}
+BENCHMARK(BM_TimeWarpCombineInto)
+    ->Args({4, 64})
     ->Args({4, 512})
     ->Args({16, 4096});
 

@@ -123,6 +123,7 @@ BaselineOutcome<typename Program::Value> RunChlonos(
     GRAPHITE_CHECK(static_cast<size_t>(B) * n <=
                    std::numeric_limits<uint32_t>::max());
     DeliveryPlane<Message> plane(vmap, static_cast<size_t>(B) * n);
+    plane.set_frontier_density(options.runtime.frontier_density);
     for (int k = 0; k < B; ++k) {
       for (VertexIdx v = 0; v < n; ++v) {
         if (adapters[k].UnitExists(v)) {
@@ -161,19 +162,43 @@ BaselineOutcome<typename Program::Value> RunChlonos(
             const int64_t t0 = NowNanos();
             const std::vector<VertexIdx>& mine =
                 plane.map().units_of(chunk.worker);
+            const bool every_unit =
+                superstep == 0 || options.always_active;
+            const bool dense =
+                every_unit || plane.FrontierIsDense(chunk.worker);
             for (int k = 0; k < B; ++k) {
               ChlonosContext<Message> ctx(superstep, b0 + k, &outbox[c]);
-              for (size_t i = chunk.begin; i < chunk.end; ++i) {
-                const VertexIdx v = mine[i];
-                if (!adapters[k].UnitExists(v)) continue;
-                const uint32_t idx = static_cast<uint32_t>(unit(k, v));
-                const bool active = superstep == 0 ||
-                                    options.always_active ||
-                                    plane.HasMail(idx);
-                if (!active) continue;
+              const auto process = [&](VertexIdx v, uint32_t idx) {
                 programs[k].Compute(ctx, v, values[idx],
                                     plane.MessagesFor(chunk.worker, idx));
                 ++chunk_calls[c];
+              };
+              if (dense) {
+                for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                  const VertexIdx v = mine[i];
+                  if (!adapters[k].UnitExists(v)) continue;
+                  const uint32_t idx = static_cast<uint32_t>(unit(k, v));
+                  if (!every_unit && !plane.HasMail(idx)) continue;
+                  process(v, idx);
+                }
+              } else {
+                // Frontier path over the batch-expanded unit space: the
+                // sorted mailed-unit list restricted to snapshot k's copy
+                // of this chunk's vertex range. Decode only delivers to
+                // snapshot-live units, but keep the liveness filter for
+                // parity with the dense scan.
+                const uint32_t lo =
+                    static_cast<uint32_t>(unit(k, mine[chunk.begin]));
+                const uint32_t hi = static_cast<uint32_t>(
+                    chunk.end < mine.size() ? unit(k, mine[chunk.end])
+                                            : unit(k + 1, 0));
+                for (const uint32_t idx :
+                     plane.FrontierSlice(chunk.worker, lo, hi)) {
+                  const VertexIdx v =
+                      static_cast<VertexIdx>(idx - unit(k, 0));
+                  if (!adapters[k].UnitExists(v)) continue;
+                  process(v, idx);
+                }
               }
             }
             chunk_ns[c] = NowNanos() - t0;
@@ -283,6 +308,9 @@ BaselineOutcome<typename Program::Value> RunChlonos(
             }
           });
       ss.messaging_ns = NowNanos() - msg_t;
+      // The mailed lists now hold superstep+1's activation set (sealed by
+      // Route above); record it before the next barrier clears it.
+      plane.CountFrontier(&ss.frontier_units, &ss.frontier_dense_workers);
       out.metrics.Accumulate(ss);
       if (!any_message && !options.always_active) break;
     }

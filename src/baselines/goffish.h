@@ -9,6 +9,7 @@
 #define GRAPHITE_BASELINES_GOFFISH_H_
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <span>
 #include <utility>
@@ -95,6 +96,7 @@ BaselineOutcome<typename Program::Value> RunGoffish(
   DeliveryPlane<Message> plane(WorkerMap(
       n, num_workers, options.placement,
       [&g](uint32_t v) { return g.vertex_id(v); }));
+  plane.set_frontier_density(options.runtime.frontier_density);
 
   std::vector<Value> values(n);
   for (VertexIdx v = 0; v < n; ++v) values[v] = program.Init(v);
@@ -153,16 +155,37 @@ BaselineOutcome<typename Program::Value> RunGoffish(
             GofContext<Message> ctx(inner, t, &outbox[c]);
             const std::vector<VertexIdx>& mine =
                 plane.map().units_of(chunk.worker);
-            for (size_t i = chunk.begin; i < chunk.end; ++i) {
-              const VertexIdx v = mine[i];
-              if (!view.VertexActive(v)) continue;
-              const bool active =
-                  plane.HasMail(v) ||
-                  (inner == 0 && program.InitialActive(v, t, view));
-              if (!active) continue;
+            const auto process = [&](VertexIdx v) {
               program.Compute(ctx, v, values[v],
                               plane.MessagesFor(chunk.worker, v), view);
               ++chunk_calls[c];
+            };
+            if (inner == 0 || plane.FrontierIsDense(chunk.worker)) {
+              // Dense scan: inner superstep 0 must probe InitialActive on
+              // every vertex, and over-threshold frontiers fall back here.
+              for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                const VertexIdx v = mine[i];
+                if (!view.VertexActive(v)) continue;
+                const bool active =
+                    plane.HasMail(v) ||
+                    (inner == 0 && program.InitialActive(v, t, view));
+                if (!active) continue;
+                process(v);
+              }
+            } else {
+              // Frontier path: only mailed vertices can be active past
+              // inner superstep 0. The snapshot-liveness filter still
+              // applies (a vertex can be mailed by a neighbor even where
+              // the snapshot excludes it).
+              const uint32_t lo = mine[chunk.begin];
+              const uint32_t hi = chunk.end < mine.size()
+                                      ? mine[chunk.end]
+                                      : std::numeric_limits<uint32_t>::max();
+              for (const uint32_t v :
+                   plane.FrontierSlice(chunk.worker, lo, hi)) {
+                if (!view.VertexActive(v)) continue;
+                process(v);
+              }
             }
             chunk_ns[c] = NowNanos() - t0;
           });
@@ -227,6 +250,9 @@ BaselineOutcome<typename Program::Value> RunGoffish(
             plane.Deliver(dst, dv, MessageTraits<Message>::Read(reader));
           });
       ss.messaging_ns = NowNanos() - msg_t;
+      // The mailed lists now hold the next inner superstep's activation
+      // set (sealed by Route above); record it before it is consumed.
+      plane.CountFrontier(&ss.frontier_units, &ss.frontier_dense_workers);
       out.metrics.Accumulate(ss);
       if (!any_intra) break;
     }

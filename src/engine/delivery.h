@@ -177,11 +177,65 @@ class DeliveryPlane {
     }
   }
 
-  /// Groups dst's staged items by unit (engine/flat_inbox.h). Safe on an
-  /// empty superstep — no deliveries seals to no spans.
-  void Seal(int dst) { inbox_[dst].Seal(mailed_[dst]); }
+  /// Groups dst's staged items by unit (engine/flat_inbox.h) and publishes
+  /// dst's compute frontier (sorted mailed units, unless the mailed set
+  /// exceeds FrontierLimit — see Frontier/FrontierIsDense). Safe on an
+  /// empty superstep — no deliveries seals to no spans and an empty
+  /// frontier.
+  void Seal(int dst) { inbox_[dst].Seal(mailed_[dst], FrontierLimit(dst)); }
   void SealAll() {
     for (int w = 0; w < map_.num_workers(); ++w) Seal(w);
+  }
+
+  /// Frontier density threshold as a fraction of the worker's owned-unit
+  /// count: mailed sets larger than density * owned go dense. 0 disables
+  /// the frontier path entirely; >= 1 (plus the per-worker rounding slack)
+  /// never goes dense. Set before the first Seal of a superstep; the
+  /// engines plumb RuntimeOptions::frontier_density through here.
+  void set_frontier_density(double density) { frontier_density_ = density; }
+
+  /// Max mailed-unit count for which worker `dst` still gets a sorted
+  /// frontier. Scales with the inbox-universe expansion factor so an
+  /// engine with several inbox units per owned unit (Chlonos's
+  /// batch-expanded snapshots) gets the same per-unit threshold.
+  size_t FrontierLimit(int dst) const {
+    const size_t expansion =
+        map_.num_units() == 0 ? 1 : has_mail_.size() / map_.num_units();
+    const double owned =
+        static_cast<double>(map_.units_of(dst).size() * expansion);
+    return static_cast<size_t>(frontier_density_ * owned);
+  }
+
+  /// Worker's sealed frontier: its mailed units, sorted ascending — the
+  /// exact activation set a dense mail-flag scan would find, in the same
+  /// visit order. Empty when nothing was mailed or the frontier is dense.
+  std::span<const uint32_t> Frontier(int worker) const {
+    return inbox_[worker].Frontier();
+  }
+  /// True when the worker's mailed set exceeded FrontierLimit at Seal, so
+  /// compute must fall back to its dense activation scan.
+  bool FrontierIsDense(int worker) const {
+    return inbox_[worker].FrontierIsDense();
+  }
+  /// The worker's frontier restricted to units in [unit_begin, unit_end) —
+  /// the chunk-compatible view compute iterates (frontiers are sorted, so
+  /// this is two binary searches).
+  std::span<const uint32_t> FrontierSlice(int worker, uint32_t unit_begin,
+                                          uint32_t unit_end) const {
+    const std::span<const uint32_t> f = inbox_[worker].Frontier();
+    const uint32_t* lo = std::lower_bound(f.data(), f.data() + f.size(),
+                                          unit_begin);
+    const uint32_t* hi = std::lower_bound(lo, f.data() + f.size(), unit_end);
+    return {lo, static_cast<size_t>(hi - lo)};
+  }
+  /// Frontier metrics for the superstep that just sealed: total mailed
+  /// units across workers (scheduling/transport/density invariant) and how
+  /// many workers went dense. Call before Barrier().
+  void CountFrontier(int64_t* frontier_units, int64_t* dense_workers) const {
+    for (int w = 0; w < map_.num_workers(); ++w) {
+      *frontier_units += static_cast<int64_t>(mailed_[w].size());
+      if (inbox_[w].FrontierIsDense()) ++(*dense_workers);
+    }
   }
 
   /// Superstep barrier: clear the mail flags via the mailed lists, drop
@@ -244,6 +298,7 @@ class DeliveryPlane {
  private:
   WorkerMap map_;
   SuperstepRuntime* rt_ = nullptr;
+  double frontier_density_ = 0.5;
   std::vector<uint8_t> has_mail_;
   std::vector<std::vector<uint32_t>> mailed_;
   InboxSpanTable spans_{0};

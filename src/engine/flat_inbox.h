@@ -19,6 +19,7 @@
 #ifndef GRAPHITE_ENGINE_FLAT_INBOX_H_
 #define GRAPHITE_ENGINE_FLAT_INBOX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -52,6 +53,7 @@ class FlatInbox {
     stage_units_.Attach(arena);
     stage_items_.Attach(arena);
     items_.Attach(arena);
+    frontier_.Attach(arena);
   }
 
   /// Appends one received item in wire-arrival order. The caller tracks
@@ -68,7 +70,15 @@ class FlatInbox {
   /// (first-arrival) order, items within a unit in arrival order (the
   /// scatter pass is stable). Call once per superstep after the last
   /// Deliver; MessagesFor is valid from then until ResetAtBarrier.
-  void Seal(std::span<const uint32_t> mailed_units) {
+  ///
+  /// Also publishes the compute frontier: when the number of mailed units
+  /// is at most `frontier_limit`, Seal sorts a copy of `mailed_units` into
+  /// `Frontier()` so the compute phase can iterate mailed units directly
+  /// (in unit order — the same visit order as a dense activation scan).
+  /// Above the limit the frontier is marked dense and never materialized:
+  /// an always-active workload pays O(1) here and keeps the dense scan.
+  void Seal(std::span<const uint32_t> mailed_units,
+            size_t frontier_limit = static_cast<size_t>(-1)) {
     uint32_t running = 0;
     for (const uint32_t u : mailed_units) {
       table_->offset[u] = running;
@@ -83,7 +93,24 @@ class FlatInbox {
     }
     stage_units_.clear();
     stage_items_.clear();
+
+    frontier_dense_ = mailed_units.size() > frontier_limit;
+    frontier_.clear();
+    if (!frontier_dense_ && !mailed_units.empty()) {
+      frontier_.Append(mailed_units.data(), mailed_units.size());
+      std::sort(frontier_.data(), frontier_.data() + frontier_.size());
+    }
   }
+
+  /// The mailed units of the last Seal, sorted ascending. Empty when no
+  /// unit was mailed, or when the frontier went dense (check
+  /// FrontierIsDense to tell the two apart).
+  std::span<const uint32_t> Frontier() const { return frontier_.span(); }
+
+  /// True when the last Seal skipped the frontier build because the mailed
+  /// set exceeded the caller's density limit — the caller must fall back
+  /// to its dense activation scan.
+  bool FrontierIsDense() const { return frontier_dense_; }
 
   /// The unit's received messages, in arrival order. Empty span (and no
   /// table read) for units without mail, so stale offsets are never
@@ -104,6 +131,8 @@ class FlatInbox {
     stage_units_.Release();
     stage_items_.Release();
     items_.Release();
+    frontier_.Release();
+    frontier_dense_ = false;
   }
 
   /// Total grouped items held for this worker (diagnostics / checkpoint).
@@ -114,6 +143,8 @@ class FlatInbox {
   ArenaVec<uint32_t> stage_units_;
   SuperstepVec<Item> stage_items_;
   SuperstepVec<Item> items_;
+  ArenaVec<uint32_t> frontier_;
+  bool frontier_dense_ = false;
 };
 
 }  // namespace graphite

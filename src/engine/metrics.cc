@@ -19,6 +19,10 @@ void RunMetrics::Accumulate(const SuperstepMetrics& ss) {
   if (ss.checkpoint_bytes > 0) ++checkpoints;
   checkpoint_ns += ss.checkpoint_ns;
   checkpoint_bytes += ss.checkpoint_bytes;
+  frontier_units += ss.frontier_units;
+  frontier_dense_workers += ss.frontier_dense_workers;
+  warp_slices += ss.warp_slices;
+  warp_merge_hits += ss.warp_merge_hits;
   per_superstep.push_back(ss);
 }
 
@@ -36,6 +40,10 @@ void RunMetrics::Merge(const RunMetrics& other) {
   checkpoints += other.checkpoints;
   checkpoint_ns += other.checkpoint_ns;
   checkpoint_bytes += other.checkpoint_bytes;
+  frontier_units += other.frontier_units;
+  frontier_dense_workers += other.frontier_dense_workers;
+  warp_slices += other.warp_slices;
+  warp_merge_hits += other.warp_merge_hits;
   interrupted = interrupted || other.interrupted;
   if (resumed_from < 0) resumed_from = other.resumed_from;
   per_superstep.insert(per_superstep.end(), other.per_superstep.begin(),
@@ -88,6 +96,14 @@ std::string RunMetrics::ToString() const {
     out += " ckpt_ms=" +
            FormatDouble(static_cast<double>(checkpoint_ns) / 1e6);
     out += " ckpt_bytes=" + FormatCount(checkpoint_bytes);
+  }
+  if (frontier_units > 0) {
+    out += " frontier_units=" + FormatCount(frontier_units);
+    out += " frontier_dense=" + FormatCount(frontier_dense_workers);
+  }
+  if (warp_slices > 0) {
+    out += " warp_slices=" + FormatCount(warp_slices);
+    out += " warp_merges=" + FormatCount(warp_merge_hits);
   }
   if (resumed_from >= 0) out += " resumed_from=" + std::to_string(resumed_from);
   if (interrupted) out += " INTERRUPTED";

@@ -33,6 +33,16 @@ struct SuperstepMetrics {
   int64_t message_bytes = 0;
   int64_t checkpoint_ns = 0;     ///< Time writing a barrier checkpoint.
   int64_t checkpoint_bytes = 0;  ///< Committed envelope size (0 = none).
+  /// Units mailed this superstep (= next superstep's activation set);
+  /// invariant across scheduling, transport, and frontier density.
+  int64_t frontier_units = 0;
+  /// Workers whose mailed set exceeded the density threshold and fell
+  /// back to the dense activation scan (varies with frontier_density).
+  int64_t frontier_dense_workers = 0;
+  /// Warp kernel counters (ICM only): non-empty slices considered and
+  /// slices coalesced by the maximality merge (Property 4 hits).
+  int64_t warp_slices = 0;
+  int64_t warp_merge_hits = 0;
 };
 
 /// Aggregate metrics for one algorithm run.
@@ -50,6 +60,10 @@ struct RunMetrics {
   int64_t checkpoints = 0;       ///< Barrier checkpoints committed.
   int64_t checkpoint_ns = 0;     ///< Total checkpoint write time.
   int64_t checkpoint_bytes = 0;  ///< Total committed envelope bytes.
+  int64_t frontier_units = 0;    ///< Total mailed units across supersteps.
+  int64_t frontier_dense_workers = 0;  ///< Dense-scan fallbacks taken.
+  int64_t warp_slices = 0;       ///< Warp slices considered (ICM).
+  int64_t warp_merge_hits = 0;   ///< Warp maximality-merge hits (ICM).
   /// True when a FaultInjector killed this run mid-superstep; the result
   /// models a crashed process and must be discarded (see ckpt/).
   bool interrupted = false;

@@ -87,6 +87,16 @@ struct RuntimeOptions {
   /// every row through §VI wire bytes and back (engine/transport.h).
   /// Results are value-identical in either; tests enforce the matrix.
   TransportKind transport = TransportKind::kInProcess;
+  /// Compute-frontier density threshold, as a fraction of each worker's
+  /// owned units: after messaging, a worker whose mailed-unit count is at
+  /// most `frontier_density * owned` gets a sorted frontier of exactly the
+  /// mailed units and compute skips the dense activation scan; above the
+  /// threshold it falls back to the dense scan (direction switching, as in
+  /// frontier-based BFS engines). 0 disables the frontier path; values
+  /// >= 1 effectively never switch to dense. Either path produces
+  /// byte-identical results (tests enforce it); this knob is purely about
+  /// which is faster for a workload's activation pattern.
+  double frontier_density = 0.5;
   /// When to write barrier checkpoints; inert unless a CheckpointStore is
   /// supplied via RecoveryContext (see ckpt/checkpoint.h).
   CheckpointPolicy checkpoint;

@@ -266,6 +266,7 @@ class IcmEngine {
     DeliveryPlane<Item> plane(WorkerMap(
         n, num_workers, placement,
         [this](uint32_t v) { return g_.vertex_id(v); }));
+    plane.set_frontier_density(options_.runtime.frontier_density);
 
     IcmResult<Program> result;
     auto& states = result.states;
@@ -363,15 +364,35 @@ class IcmEngine {
             const int64_t t0 = NowNanos();
             const std::vector<VertexIdx>& mine =
                 plane.map().units_of(chunk.worker);
-            for (size_t i = chunk.begin; i < chunk.end; ++i) {
-              const VertexIdx v = mine[i];
-              const bool active =
-                  superstep == 0 || options_.always_active || plane.HasMail(v);
-              if (!active) continue;
+            const auto process = [&](VertexIdx v) {
               ProcessVertex(v, superstep, plane.map().worker_of(),
                             plane.MessagesFor(chunk.worker, v), &states[v],
                             &wire[c], &counters[c], &scratch[thread]);
               // (wire[c] is this chunk's per-destination buffer row.)
+            };
+            const bool every_vertex = superstep == 0 || options_.always_active;
+            if (every_vertex || plane.FrontierIsDense(chunk.worker)) {
+              // Dense activation scan: all owned vertices (superstep 0 /
+              // always-active) or a mail-flag sweep when the frontier
+              // exceeded the density threshold.
+              for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                const VertexIdx v = mine[i];
+                if (!every_vertex && !plane.HasMail(v)) continue;
+                process(v);
+              }
+            } else {
+              // Frontier path: the plane's sorted mailed-vertex list
+              // sliced to this chunk's unit range — exactly the vertices
+              // the dense scan would find active, in the same order.
+              const uint32_t lo = mine[chunk.begin];
+              const uint32_t hi =
+                  chunk.end < mine.size()
+                      ? mine[chunk.end]
+                      : std::numeric_limits<uint32_t>::max();
+              for (const uint32_t v :
+                   plane.FrontierSlice(chunk.worker, lo, hi)) {
+                process(v);
+              }
             }
             chunk_ns[c] = NowNanos() - t0;
           });
@@ -391,6 +412,8 @@ class IcmEngine {
         ss.compute_calls += counters[c].compute_calls;
         ss.scatter_calls += counters[c].scatter_calls;
         ss.messages += counters[c].messages;
+        ss.warp_slices += counters[c].warp.slices;
+        ss.warp_merge_hits += counters[c].warp.merge_hits;
         result.active_compute_calls += counters[c].active_compute_calls;
         result.suppressed_vertices += counters[c].suppressed_vertices;
       }
@@ -419,6 +442,9 @@ class IcmEngine {
             plane.Deliver(dst, unit, {iv, std::move(msg)});
           });
       ss.messaging_ns = NowNanos() - msg_t;
+      // The mailed lists now hold superstep+1's activation set (sealed by
+      // Route above); record its size before the barrier clears it.
+      plane.CountFrontier(&ss.frontier_units, &ss.frontier_dense_workers);
 
       result.metrics.Accumulate(ss);
       const bool halting = !any_message && !options_.always_active;
@@ -537,6 +563,7 @@ class IcmEngine {
     int64_t messages = 0;
     int64_t active_compute_calls = 0;
     int64_t suppressed_vertices = 0;
+    WarpStats warp;  ///< Untimed two-pass kernel counters for this chunk.
   };
 
   // Reused per-OS-thread buffers: no per-vertex allocation churn, and the
@@ -682,7 +709,7 @@ class IcmEngine {
             [](const Message& a, const Message& b) {
               return Program::Combine(a, b);
             },
-            &scratch->warp_scratch, &tuples);
+            &scratch->warp_scratch, &tuples, &counters->warp);
         for (size_t i = 0; i < tuples.size(); ++i) {
           const CombinedWarpTuple<Message>& t = tuples[i];
           if (gap_fill && t.interval.start > cursor) {
@@ -707,7 +734,8 @@ class IcmEngine {
     // the flat SoA form: one shared index pool, (offset, count) per tuple.
     WarpOutput& warped = scratch->warp;
     TimeWarpInto<State, Message>(std::span<const StateEntry>(scratch->outer),
-                                 msgs, &scratch->warp_scratch, &warped);
+                                 msgs, &scratch->warp_scratch, &warped,
+                                 &counters->warp);
     for (size_t i = 0; i < warped.size(); ++i) {
       const FlatWarpTuple& t = warped[i];
       if (gap_fill && t.interval.start > cursor) {

@@ -123,6 +123,7 @@ RunMetrics RunVcm(
       n, num_workers, options.placement,
       [&adapter](uint32_t u) { return adapter.PartitionId(u); },
       [&adapter](uint32_t u) { return adapter.UnitExists(u); }));
+  plane.set_frontier_density(options.runtime.frontier_density);
 
   // State.
   std::vector<Value> values(n);
@@ -267,14 +268,30 @@ RunMetrics RunVcm(
                                   &chunk_messages[c]);
           const std::vector<uint32_t>& mine =
               plane.map().units_of(chunk.worker);
-          for (size_t i = chunk.begin; i < chunk.end; ++i) {
-            const uint32_t u = mine[i];
-            const bool active =
-                superstep == 0 || options.always_active || plane.HasMail(u);
-            if (!active) continue;
+          const auto process = [&](uint32_t u) {
             program.Compute(ctx, u, values[u],
                             plane.MessagesFor(chunk.worker, u));
             ++chunk_calls[c];
+          };
+          const bool every_unit = superstep == 0 || options.always_active;
+          if (every_unit || plane.FrontierIsDense(chunk.worker)) {
+            for (size_t i = chunk.begin; i < chunk.end; ++i) {
+              const uint32_t u = mine[i];
+              if (!every_unit && !plane.HasMail(u)) continue;
+              process(u);
+            }
+          } else {
+            // Frontier path: the sorted mailed-unit list sliced to this
+            // chunk's unit range — the dense scan's activation set in the
+            // dense scan's order, without the per-unit flag sweep.
+            const uint32_t lo = mine[chunk.begin];
+            const uint32_t hi = chunk.end < mine.size()
+                                    ? mine[chunk.end]
+                                    : std::numeric_limits<uint32_t>::max();
+            for (const uint32_t u :
+                 plane.FrontierSlice(chunk.worker, lo, hi)) {
+              process(u);
+            }
           }
           chunk_ns[c] = NowNanos() - t0;
         });
@@ -314,6 +331,9 @@ RunMetrics RunVcm(
           plane.Deliver(dst, unit, std::move(msg));
         });
     ss.messaging_ns = NowNanos() - msg_t;
+    // The mailed lists now hold superstep+1's activation set (sealed by
+    // Route above); record its size before the next barrier clears it.
+    plane.CountFrontier(&ss.frontier_units, &ss.frontier_dense_workers);
 
     metrics.Accumulate(ss);
     // Always-active programs run to max_supersteps (the loop bound);

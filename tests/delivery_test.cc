@@ -158,6 +158,147 @@ TEST_F(DeliveryPlaneTest, BarrierClearsMailAndInboxes) {
   EXPECT_EQ(plane_.MessagesFor(0, 4)[0], 7);
 }
 
+// --- Frontier protocol (frontier-driven supersteps) ---
+// Seal publishes each worker's mailed units as a sorted frontier unless
+// the mailed set exceeds FrontierLimit (density * owned units), in which
+// case the worker is marked dense and compute falls back to its
+// activation scan. These tests pin the switch boundary, the sort/slice
+// contract, and the empty-superstep behavior the engines rely on.
+
+using DeliveryPlaneFrontierTest = DeliveryPlaneTest;
+
+TEST_F(DeliveryPlaneFrontierTest, FrontierIsSortedMailedUnits) {
+  // Deliver out of unit order; the frontier must come back sorted — the
+  // same visit order as the dense scan. (High density: this test is about
+  // ordering, not the switch.)
+  plane_.set_frontier_density(1e9);
+  plane_.Deliver(0, 4, 1);
+  plane_.Deliver(0, 0, 2);
+  plane_.Deliver(1, 5, 3);
+  plane_.Deliver(1, 1, 4);
+  plane_.SealAll();
+  EXPECT_FALSE(plane_.FrontierIsDense(0));
+  EXPECT_FALSE(plane_.FrontierIsDense(1));
+  const auto f0 = plane_.Frontier(0);
+  ASSERT_EQ(f0.size(), 2u);
+  EXPECT_EQ(f0[0], 0u);
+  EXPECT_EQ(f0[1], 4u);
+  const auto f1 = plane_.Frontier(1);
+  ASSERT_EQ(f1.size(), 2u);
+  EXPECT_EQ(f1[0], 1u);
+  EXPECT_EQ(f1[1], 5u);
+}
+
+TEST_F(DeliveryPlaneFrontierTest, DensitySwitchBoundaryIsExact) {
+  // Worker 0 owns 3 units; density 0.5 puts the limit at floor(1.5) = 1
+  // mailed unit. Exactly at the limit: frontier. One past: dense.
+  plane_.set_frontier_density(0.5);
+  ASSERT_EQ(plane_.FrontierLimit(0), 1u);
+
+  plane_.Deliver(0, 2, 10);
+  plane_.SealAll();
+  EXPECT_FALSE(plane_.FrontierIsDense(0));
+  ASSERT_EQ(plane_.Frontier(0).size(), 1u);
+  EXPECT_EQ(plane_.Frontier(0)[0], 2u);
+  plane_.Barrier();
+
+  plane_.Deliver(0, 2, 10);
+  plane_.Deliver(0, 4, 11);
+  plane_.SealAll();
+  EXPECT_TRUE(plane_.FrontierIsDense(0));
+  EXPECT_TRUE(plane_.Frontier(0).empty());  // never materialized
+  // Worker 1 had no mail: not dense, empty frontier.
+  EXPECT_FALSE(plane_.FrontierIsDense(1));
+  EXPECT_TRUE(plane_.Frontier(1).empty());
+}
+
+TEST_F(DeliveryPlaneFrontierTest, DensityZeroDisablesFrontier) {
+  plane_.set_frontier_density(0.0);
+  EXPECT_EQ(plane_.FrontierLimit(0), 0u);
+  plane_.Deliver(0, 0, 1);
+  plane_.SealAll();
+  // A single mailed unit already exceeds the zero limit: dense fallback.
+  EXPECT_TRUE(plane_.FrontierIsDense(0));
+  EXPECT_TRUE(plane_.Frontier(0).empty());
+}
+
+TEST_F(DeliveryPlaneFrontierTest, HighDensityNeverGoesDense) {
+  plane_.set_frontier_density(1e9);
+  for (uint32_t u = 0; u < 6; ++u) {
+    plane_.Deliver(assignment_[u], u, static_cast<int64_t>(u));
+  }
+  plane_.SealAll();
+  EXPECT_FALSE(plane_.FrontierIsDense(0));
+  EXPECT_FALSE(plane_.FrontierIsDense(1));
+  EXPECT_EQ(plane_.Frontier(0).size(), 3u);
+  EXPECT_EQ(plane_.Frontier(1).size(), 3u);
+}
+
+TEST_F(DeliveryPlaneFrontierTest, FrontierSliceRestrictsByUnitRange) {
+  plane_.set_frontier_density(1e9);
+  plane_.Deliver(0, 0, 1);
+  plane_.Deliver(0, 2, 2);
+  plane_.Deliver(0, 4, 3);
+  plane_.SealAll();
+  // [0, 6) — everything; [1, 4) — only unit 2; [5, 6) — nothing.
+  const auto all = plane_.FrontierSlice(0, 0, 6);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 0u);
+  EXPECT_EQ(all[2], 4u);
+  const auto mid = plane_.FrontierSlice(0, 1, 4);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0], 2u);
+  EXPECT_TRUE(plane_.FrontierSlice(0, 5, 6).empty());
+  // Half-open upper bound: unit_end itself is excluded.
+  EXPECT_EQ(plane_.FrontierSlice(0, 0, 4).size(), 2u);
+}
+
+// Regression: a superstep where no worker receives mail must seal to an
+// empty, non-dense frontier — and stay well-behaved across barriers
+// (the engines probe Frontier/FrontierIsDense every superstep).
+TEST_F(DeliveryPlaneFrontierTest, EmptySuperstepSealsEmptyFrontier) {
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    plane_.SealAll();
+    for (int w = 0; w < kWorkers; ++w) {
+      EXPECT_FALSE(plane_.FrontierIsDense(w)) << "cycle " << cycle;
+      EXPECT_TRUE(plane_.Frontier(w).empty()) << "cycle " << cycle;
+      EXPECT_TRUE(plane_.FrontierSlice(w, 0, 6).empty()) << "cycle " << cycle;
+    }
+    int64_t units = 0, dense = 0;
+    plane_.CountFrontier(&units, &dense);
+    EXPECT_EQ(units, 0);
+    EXPECT_EQ(dense, 0);
+    plane_.Barrier();
+  }
+}
+
+TEST_F(DeliveryPlaneFrontierTest, BarrierResetsDenseFlag) {
+  plane_.set_frontier_density(0.0);
+  plane_.Deliver(0, 0, 1);
+  plane_.SealAll();
+  EXPECT_TRUE(plane_.FrontierIsDense(0));
+  plane_.Barrier();
+  // Next superstep with a permissive density must rebuild the frontier.
+  plane_.set_frontier_density(1e9);
+  plane_.Deliver(0, 0, 1);
+  plane_.SealAll();
+  EXPECT_FALSE(plane_.FrontierIsDense(0));
+  EXPECT_EQ(plane_.Frontier(0).size(), 1u);
+}
+
+TEST_F(DeliveryPlaneFrontierTest, CountFrontierSumsMailedAndDense) {
+  // Worker 0 dense (2 mailed > limit 1 at density 0.5), worker 1 sparse.
+  plane_.set_frontier_density(0.5);
+  plane_.Deliver(0, 0, 1);
+  plane_.Deliver(0, 2, 2);
+  plane_.Deliver(1, 3, 3);
+  plane_.SealAll();
+  int64_t units = 0, dense = 0;
+  plane_.CountFrontier(&units, &dense);
+  EXPECT_EQ(units, 3);  // mailed-unit total is density-independent
+  EXPECT_EQ(dense, 1);
+}
+
 // Checkpoint drain/restore through the plane: encode what the engines'
 // EncodeSection reads (mail flag + undelivered messages per owned unit),
 // then rebuild a fresh plane the way recovery does (Deliver per message,

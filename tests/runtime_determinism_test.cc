@@ -214,6 +214,49 @@ TEST_P(RuntimeDeterminismTest, SuppressionMatrix) {
   }
 }
 
+// --- Frontier axis (frontier-driven supersteps): density 0 forces the
+// dense activation scan everywhere, a huge density keeps every worker on
+// the sorted-frontier path, and the 0.5 default mixes the two as mailed
+// sets grow and shrink. All three must be byte-identical across the full
+// scheduling x transport x worker matrix — the frontier visits exactly
+// the units the dense scan finds active, in the same unit order, so wire
+// rows and results cannot differ. frontier_units (mailed-unit totals) is
+// also density-invariant; frontier_dense_workers intentionally is NOT
+// compared across densities (it is what the knob changes). ---
+TEST_P(RuntimeDeterminismTest, FrontierVsDenseMatrix) {
+  testutil::RandomGraphOptions opt;
+  opt.num_vertices = 60;
+  opt.num_edges = 220;
+  const TemporalGraph g = testutil::MakeRandomGraph(GetParam() + 3, opt);
+  const double kDensities[] = {0.0, 0.5, 1e9};
+  for (int workers : {1, 3, 7}) {
+    IcmSssp program(g, g.vertex_id(0));
+    IcmOptions base = MakeOptions(kModes[0], workers);
+    base.runtime.frontier_density = 0.0;  // pure dense-scan reference
+    const auto want = IcmEngine<IcmSssp>::Run(g, program, base);
+    for (const ModeSpec& mode : kModes) {
+      for (const TransportKind transport : kTransports) {
+        for (const double density : kDensities) {
+          IcmSssp p(g, g.vertex_id(0));
+          IcmOptions options = MakeOptions(mode, workers, transport);
+          options.runtime.frontier_density = density;
+          const auto got = IcmEngine<IcmSssp>::Run(g, p, options);
+          const std::string label = MatrixLabel(mode, transport, workers) +
+                                    " d=" + std::to_string(density);
+          ExpectIdentical(want, got, label.c_str());
+          ASSERT_EQ(want.metrics.per_superstep.size(),
+                    got.metrics.per_superstep.size());
+          for (size_t s = 0; s < want.metrics.per_superstep.size(); ++s) {
+            EXPECT_EQ(want.metrics.per_superstep[s].frontier_units,
+                      got.metrics.per_superstep[s].frontier_units)
+                << label << " ss=" << s;
+          }
+        }
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeDeterminismTest,
                          ::testing::Values(7, 1234, 987654));
 
@@ -269,6 +312,52 @@ TEST(RuntimeDeterminismCrossEngine, AllPlatformsMatchSequential) {
   check(Platform::kIcm, Algorithm::kSssp, sssp, kInfCost, "sssp/icm");
   check(Platform::kTgb, Algorithm::kSssp, sssp, kInfCost, "sssp/tgb");
   check(Platform::kGof, Algorithm::kSssp, sssp, kInfCost, "sssp/gof");
+}
+
+// The frontier axis over all four engines: each platform's
+// frontier-driven run (huge density — never dense) must reproduce its own
+// dense-scan run (density 0) exactly, results and message counts alike,
+// under stealing + tiny chunks so frontier slices cross chunk boundaries.
+TEST(RuntimeDeterminismCrossEngine, FrontierMatchesDenseAllPlatforms) {
+  testutil::RandomGraphOptions opt;
+  opt.full_lifespan_prob = 0.6;
+  Workload w(testutil::MakeRandomGraph(11, opt));
+  RunConfig dense;
+  dense.num_workers = 3;
+  dense.use_threads = true;
+  dense.runtime.scheduling = Scheduling::kStealing;
+  dense.runtime.num_threads = 4;
+  dense.runtime.chunk_size = 2;
+  dense.runtime.frontier_density = 0.0;
+  dense.chlonos_batch_size = 5;
+  RunConfig frontier = dense;
+  frontier.runtime.frontier_density = 1e9;
+
+  const auto check = [&](Platform p, auto runner, auto absent,
+                         const char* what) {
+    RunMetrics md, mf;
+    const auto want = runner(w, p, dense, &md);
+    const auto got = runner(w, p, frontier, &mf);
+    for (VertexIdx v = 0; v < w.graph().num_vertices(); ++v) {
+      for (TimePoint t = 0; t < w.graph().horizon(); ++t) {
+        ASSERT_EQ(ResultAt(want, v, t, absent), ResultAt(got, v, t, absent))
+            << what << " v=" << v << " t=" << t;
+      }
+    }
+    EXPECT_EQ(md.messages, mf.messages) << what;
+    EXPECT_EQ(md.message_bytes, mf.message_bytes) << what;
+    EXPECT_EQ(md.compute_calls, mf.compute_calls) << what;
+    EXPECT_EQ(md.frontier_units, mf.frontier_units) << what;
+  };
+  const auto bfs = [](Workload& wl, Platform p, const RunConfig& c,
+                      RunMetrics* m) { return RunBfsOn(wl, p, c, m); };
+  const auto sssp = [](Workload& wl, Platform p, const RunConfig& c,
+                       RunMetrics* m) { return RunSsspOn(wl, p, c, m); };
+  check(Platform::kIcm, bfs, kInfCost, "frontier/bfs/icm");
+  check(Platform::kMsb, bfs, kInfCost, "frontier/bfs/msb");
+  check(Platform::kChl, bfs, kInfCost, "frontier/bfs/chl");
+  check(Platform::kTgb, sssp, kInfCost, "frontier/sssp/tgb");
+  check(Platform::kGof, sssp, kInfCost, "frontier/sssp/gof");
 }
 
 // Work stealing actually happens under skew: all vertices on one logical

@@ -13,7 +13,11 @@ self-describing:
 Non-timing metrics (allocation counts, ratios of counts) are deterministic
 per build and enforced unconditionally. Timing metrics are noisy on shared
 machines, so they are warnings by default and enforced only with --strict
-or GRAPHITE_PERF_STRICT=1.
+or GRAPHITE_PERF_STRICT=1. When the two reports record different
+`hardware_concurrency` values, timing gates are additionally downgraded to
+warnings even under --strict — a baseline taken on a different core count
+says nothing about timing on this host — while allocation/count gates stay
+enforced (they are core-count independent).
 
 Usage: check_bench_regression.py <committed.json> <fresh.json> [--strict]
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/format error.
@@ -26,7 +30,7 @@ import sys
 TOLERANCE = 0.10  # Allowed relative regression.
 
 
-def load_gated(path):
+def load_report(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
@@ -37,7 +41,7 @@ def load_gated(path):
     if not isinstance(gated, dict):
         print(f"error: {path} has no 'gated' object", file=sys.stderr)
         sys.exit(2)
-    return gated
+    return report
 
 
 def regressed(better, baseline, fresh):
@@ -62,8 +66,20 @@ def main(argv):
     if len(paths) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    committed = load_gated(paths[0])
-    fresh = load_gated(paths[1])
+    committed_report = load_report(paths[0])
+    fresh_report = load_report(paths[1])
+    committed = committed_report["gated"]
+    fresh = fresh_report["gated"]
+
+    base_cores = committed_report.get("hardware_concurrency")
+    fresh_cores = fresh_report.get("hardware_concurrency")
+    cores_match = base_cores is not None and base_cores == fresh_cores
+    if not cores_match:
+        print(
+            f"note: hardware_concurrency baseline={base_cores} vs "
+            f"fresh={fresh_cores}; timing gates are warnings only "
+            "(alloc/count gates still enforced)"
+        )
 
     failures = []
     for key, base in committed.items():
@@ -76,15 +92,18 @@ def main(argv):
         timing = bool(base.get("timing", False))
         direction = base.get("better", "lower")
         bad = regressed(direction, base_v, fresh_v)
+        # Timing gates require both --strict and a matching core count;
+        # non-timing gates (allocs, counts, call ratios) always enforce.
+        enforce = not timing or (strict and cores_match)
         verdict = "OK"
         if bad:
-            verdict = "REGRESSION" if (strict or not timing) else "warn"
-        enforced = "" if (strict or not timing) else " (timing, not enforced)"
+            verdict = "REGRESSION" if enforce else "warn"
+        enforced = "" if enforce else " (timing, not enforced)"
         print(
             f"{verdict:>10}  {key}: baseline {base_v:.3f} -> fresh "
             f"{fresh_v:.3f} (better: {direction}){enforced}"
         )
-        if bad and (strict or not timing):
+        if bad and enforce:
             failures.append(
                 f"{key}: {fresh_v:.3f} vs baseline {base_v:.3f} "
                 f"(better: {direction}, tolerance {TOLERANCE:.0%})"
