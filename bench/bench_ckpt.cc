@@ -14,6 +14,7 @@
 #include "algorithms/icm_path.h"
 #include "bench_common.h"
 #include "ckpt/checkpoint_store.h"
+#include "util/json.h"
 
 namespace graphite {
 namespace {
@@ -58,20 +59,19 @@ double OverheadPct(const Sample& s) {
   return s.wall_ms <= 0 ? 0.0 : 100.0 * s.ckpt_ms / s.wall_ms;
 }
 
-std::string JsonPolicy(const Sample& s) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"wall_ms\": %.3f, \"ckpt_ms\": %.3f, "
-                "\"overhead_pct\": %.2f, \"checkpoints\": %lld, "
-                "\"ckpt_bytes\": %lld, \"bytes_per_superstep\": %.1f}",
-                s.wall_ms, s.ckpt_ms, OverheadPct(s),
-                static_cast<long long>(s.checkpoints),
-                static_cast<long long>(s.ckpt_bytes),
-                s.supersteps > 0
-                    ? static_cast<double>(s.ckpt_bytes) /
-                          static_cast<double>(s.supersteps)
-                    : 0.0);
-  return buf;
+void WritePolicy(JsonWriter* json, const Sample& s) {
+  json->BeginObject();
+  json->Key("wall_ms").Fixed(s.wall_ms, 3);
+  json->Key("ckpt_ms").Fixed(s.ckpt_ms, 3);
+  json->Key("overhead_pct").Fixed(OverheadPct(s), 2);
+  json->Key("checkpoints").Int(s.checkpoints);
+  json->Key("ckpt_bytes").Int(s.ckpt_bytes);
+  json->Key("bytes_per_superstep")
+      .Fixed(s.supersteps > 0 ? static_cast<double>(s.ckpt_bytes) /
+                                    static_cast<double>(s.supersteps)
+                              : 0.0,
+             1);
+  json->EndObject();
 }
 
 }  // namespace
@@ -88,11 +88,12 @@ int main(int argc, char** argv) {
   std::printf("Checkpoint overhead bench: SSSP on ICM, %d logical workers, "
               "%d OS threads, best of 3\n\n",
               workers, threads);
-  std::string json = "{\n";
-  json += "  \"hardware_concurrency\": " + std::to_string(threads) + ",\n";
-  json += "  \"num_workers\": " + std::to_string(workers) + ",\n";
-  json += "  \"algorithm\": \"sssp_icm\",\n";
-  json += "  \"datasets\": [\n";
+  JsonWriter json(2);
+  json.BeginObject();
+  json.Key("hardware_concurrency").Int(threads);
+  json.Key("num_workers").Int(workers);
+  json.Key("algorithm").String("sssp_icm");
+  json.Key("datasets").BeginArray();
 
   TextTable table;
   table.AddRow({"Graph", "ss", "none-ms", "k1-ms", "k1-ov%", "k2-ov%",
@@ -138,18 +139,20 @@ int main(int argc, char** argv) {
                                          static_cast<double>(k1.supersteps)
                                    : 0.0,
                                0)});
-    json += "    {\"graph\": \"" + ds.name + "\", \"policies\": {";
+    json.BeginObject();
+    json.Key("graph").String(ds.name);
+    json.Key("policies").BeginObject();
     for (size_t i = 0; i < std::size(kPolicies); ++i) {
-      if (i) json += ", ";
-      json += std::string("\"") + kPolicies[i].name +
-              "\": " + JsonPolicy(samples[i]);
+      json.Key(kPolicies[i].name);
+      WritePolicy(&json, samples[i]);
     }
-    json += "}}";
-    json += (d + 1 < datasets.size()) ? ",\n" : "\n";
+    json.EndObject();
+    json.EndObject();
     ds.workload.DropDerived();
   }
   datasets.clear();
-  json += "  ]\n}\n";
+  json.EndArray();
+  json.EndObject();
 
   std::printf("Checkpoint overhead, SSSP on ICM (ov%% = ckpt time / wall):\n"
               "%s\n",
@@ -159,7 +162,7 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(snap_root, ec);
 
   std::ofstream out(json_path);
-  out << json;
+  out << json.str() << '\n';
   out.flush();
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path);

@@ -15,6 +15,7 @@
 
 #include "algorithms/icm_ti.h"
 #include "bench_common.h"
+#include "util/json.h"
 
 namespace graphite {
 namespace {
@@ -49,18 +50,15 @@ Sample Measure(const Fn& run) {
   return best;
 }
 
-std::string JsonModes(const Sample samples[]) {
-  std::string out = "{";
+void WriteModes(JsonWriter* json, const Sample samples[]) {
+  json->BeginObject();
   for (size_t i = 0; i < std::size(kModes); ++i) {
-    if (i) out += ", ";
-    char buf[128];
-    std::snprintf(buf, sizeof(buf),
-                  "\"%s\": {\"wall_ms\": %.3f, \"steals\": %lld}",
-                  kModes[i].name, samples[i].wall_ms,
-                  static_cast<long long>(samples[i].steals));
-    out += buf;
+    json->Key(kModes[i].name).BeginObject();
+    json->Key("wall_ms").Fixed(samples[i].wall_ms, 3);
+    json->Key("steals").Int(samples[i].steals);
+    json->EndObject();
   }
-  return out + "}";
+  json->EndObject();
 }
 
 }  // namespace
@@ -77,18 +75,20 @@ int main(int argc, char** argv) {
   std::printf("Runtime scheduling bench: %d logical workers, %d OS threads "
               "(hardware), best of 3\n\n",
               workers, threads);
-  std::string json = "{\n";
-  json += "  \"hardware_concurrency\": " + std::to_string(threads) + ",\n";
-  json += "  \"num_workers\": " + std::to_string(workers) + ",\n";
-  json += "  \"note\": \"measured on a " + std::to_string(threads) +
-          "-core host; threaded modes need >1 core to beat sequential and "
-          "speedup keys are emitted only when hardware_concurrency >= 4\",\n";
+  JsonWriter json(2);
+  json.BeginObject();
+  json.Key("hardware_concurrency").Int(threads);
+  json.Key("num_workers").Int(workers);
+  json.Key("note").String(
+      "measured on a " + std::to_string(threads) +
+      "-core host; threaded modes need >1 core to beat sequential and "
+      "speedup keys are emitted only when hardware_concurrency >= 4");
 
   // --- Part 1: Table-1 generators, PR (always-active, compute-heavy). ---
   TextTable table;
   table.AddRow({"Graph", "seq-ms", "spawn-ms", "pool-ms", "steal-ms",
                 "steals", "steal/spawn"});
-  json += "  \"table1_pr\": [\n";
+  json.Key("table1_pr").BeginArray();
   std::vector<bench::BenchDataset> datasets = bench::LoadCatalog(scale);
   for (size_t d = 0; d < datasets.size(); ++d) {
     bench::BenchDataset& ds = datasets[d];
@@ -113,13 +113,15 @@ int main(int argc, char** argv) {
                   FormatDouble(samples[1].wall_ms /
                                    std::max(1e-9, samples[3].wall_ms),
                                2)});
-    json += "    {\"graph\": \"" + ds.name + "\", \"modes\": " +
-            JsonModes(samples) + "}";
-    json += (d + 1 < datasets.size()) ? ",\n" : "\n";
+    json.BeginObject();
+    json.Key("graph").String(ds.name);
+    json.Key("modes");
+    WriteModes(&json, samples);
+    json.EndObject();
     ds.workload.DropDerived();
   }
   datasets.clear();
-  json += "  ],\n";
+  json.EndArray();
   std::printf("Table-1 generators, PageRank on ICM:\n%s\n",
               table.ToString().c_str());
 
@@ -162,7 +164,9 @@ int main(int argc, char** argv) {
   }
   std::printf("Skewed power-law (hubs on worker 0), PageRank:\n%s\n",
               skew.ToString().c_str());
-  json += "  \"skewed_powerlaw_pr\": {\"modes\": " + JsonModes(samples);
+  json.Key("skewed_powerlaw_pr").BeginObject();
+  json.Key("modes");
+  WriteModes(&json, samples);
   // Speedup ratios only mean something with real parallel hardware: on a
   // 1–3 core host every threaded mode is sequential plus overhead, so the
   // keys are omitted rather than recorded as vacuous sub-1.0 ratios.
@@ -174,17 +178,13 @@ int main(int argc, char** argv) {
     std::printf("Stealing vs per-superstep spawn: %.2fx; vs sequential: "
                 "%.2fx (target: beats sequential on >=4 cores)\n",
                 vs_spawn, vs_sequential);
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  ", \"speedup_stealing_vs_spawn\": %.2f"
-                  ", \"speedup_stealing_vs_sequential\": %.2f",
-                  vs_spawn, vs_sequential);
-    json += buf;
+    json.Key("speedup_stealing_vs_spawn").Fixed(vs_spawn, 2);
+    json.Key("speedup_stealing_vs_sequential").Fixed(vs_sequential, 2);
   } else {
     std::printf("Speedup ratios omitted: only %d hardware core(s)\n",
                 threads);
   }
-  json += "},\n";
+  json.EndObject();
 
   // --- Part 3: transport dimension (ISSUE 5). Same graph and stealing
   // mode, in-process vs loopback-wire delivery: the loopback backend
@@ -218,16 +218,15 @@ int main(int argc, char** argv) {
   std::printf("Transport backends (power-law PageRank, stealing):\n%s\n",
               ttable.ToString().c_str());
   std::printf("Loopback-wire overhead vs in-process: %.2fx\n", overhead);
-  char tbuf[160];
-  std::snprintf(tbuf, sizeof(tbuf),
-                "  \"transport_pr\": {\"in_process_ms\": %.3f, "
-                "\"loopback_wire_ms\": %.3f, \"loopback_overhead\": %.2f}\n",
-                transport_ms[0], transport_ms[1], overhead);
-  json += tbuf;
-  json += "}\n";
+  json.Key("transport_pr").BeginObject();
+  json.Key("in_process_ms").Fixed(transport_ms[0], 3);
+  json.Key("loopback_wire_ms").Fixed(transport_ms[1], 3);
+  json.Key("loopback_overhead").Fixed(overhead, 2);
+  json.EndObject();
+  json.EndObject();
 
   std::ofstream out(json_path);
-  out << json;
+  out << json.str() << '\n';
   out.flush();
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path);

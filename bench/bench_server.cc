@@ -1,0 +1,263 @@
+// Serving-layer benchmark (DESIGN.md §4i): measures the query service's
+// cache miss path (full superstep run + fragment render) against the hit
+// path (LRU lookup + envelope assembly, zero supersteps) on two resident
+// catalog graphs, plus mixed-request throughput through the bounded job
+// scheduler. Heap allocations on the hit path are counted exactly via the
+// replaced operator new (bench/alloc_counter.h).
+//
+// Output: a JSON report (default BENCH_server.json in the working
+// directory). The committed copy at the repo root is the regression
+// baseline: tools/check_bench_regression.py compares the "gated" block of
+// a fresh run against it (ctest label `perf`). The >=10x hit/miss speedup
+// acceptance and the hit-path allocation count are deterministic-ish per
+// build and gated unconditionally; raw latency/throughput keys are timing
+// and enforced only in strict mode (GRAPHITE_PERF_STRICT=1 / --strict)
+// with a matching core count.
+//
+// Usage: bench_server [scale] [out.json]
+// The committed baseline uses scale 0.25; regenerate it with:
+//     ./bench/bench_server 0.25 && cp BENCH_server.json <repo root>
+#define GRAPHITE_ALLOC_COUNTER_IMPL
+#include "alloc_counter.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/server.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace graphite {
+namespace bench {
+namespace {
+
+// One resident graph served by the benchmark instance.
+struct Resident {
+  const char* name;     // registry name
+  const char* dataset;  // catalog prefix (Server::LoadDataset)
+};
+
+constexpr Resident kResidents[] = {
+    {"tw", "twitter"},
+    {"rd", "reddit"},
+};
+
+QueryRequest SsspRequest(const std::string& graph, VertexId source) {
+  QueryRequest req;
+  req.op = "run";
+  req.graph = graph;
+  req.alg = "sssp";
+  req.platform = "icm";
+  req.source = source;
+  return req;
+}
+
+// The mixed shapes the throughput phase cycles over, per graph. Written
+// as protocol lines so the phase exercises the full HandleLine path
+// (parse -> admission -> scheduler -> envelope).
+std::vector<std::string> MixedLines(const std::string& graph,
+                                    VertexId source, int64_t id_base) {
+  std::vector<std::string> out;
+  int64_t next_id = id_base;
+  auto add = [&](const char* op,
+                 const std::vector<std::pair<const char*, int64_t>>& ints,
+                 const std::vector<std::pair<const char*, const char*>>&
+                     strs = {}) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id").Int(next_id++);
+    w.Key("op").String(op);
+    w.Key("graph").String(graph);
+    for (const auto& [k, v] : strs) w.Key(k).String(v);
+    for (const auto& [k, v] : ints) w.Key(k).Int(v);
+    w.EndObject();
+    out.push_back(w.str());
+  };
+  add("run", {{"source", source}}, {{"alg", "bfs"}});
+  add("run", {}, {{"alg", "pr"}});
+  add("run", {{"source", source}}, {{"alg", "sssp"}});
+  add("path", {{"source", source}, {"target", 0}}, {{"kind", "eat"}});
+  add("reach_at", {{"source", source}, {"at", 2}});
+  add("stats", {});
+  return out;
+}
+
+void GateEntry(JsonWriter* json, const char* key, double value,
+               const char* better, bool timing) {
+  json->Key(key).BeginObject();
+  json->Key("value").Fixed(value, 3);
+  json->Key("better").String(better);
+  json->Key("timing").Bool(timing);
+  json->EndObject();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace graphite
+
+int main(int argc, char** argv) {
+  using namespace graphite;
+  using namespace graphite::bench;
+  const double scale = ResolveScale(argc, argv, 0.25);
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_server.json";
+  const int threads =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  ServerOptions options;
+  options.scheduler.num_threads = 4;
+  options.scheduler.max_queue = 1024;
+  Server server(options);
+  for (const Resident& r : kResidents) {
+    const Status s = server.LoadDataset(r.name, r.dataset, scale);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: load %s: %s\n", r.dataset,
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  VertexId hubs[std::size(kResidents)];
+  for (size_t i = 0; i < std::size(kResidents); ++i) {
+    hubs[i] = HubVertex(
+        server.registry().Get(kResidents[i].name)->workload.graph());
+  }
+
+  // ---- Miss path: a representative SSSP run, cache bypassed so every
+  // execution renders the fragment from scratch. Mean of 5 after warmup.
+  QueryRequest miss_req = SsspRequest(kResidents[0].name, hubs[0]);
+  miss_req.use_cache = false;
+  ExecStats stats;
+  server.service().Execute(miss_req, 0, &stats);  // warmup (derived graphs)
+  const int64_t miss_supersteps = stats.supersteps;
+  constexpr int kMissReps = 5;
+  int64_t t0 = NowNanos();
+  for (int i = 0; i < kMissReps; ++i) {
+    server.service().Execute(miss_req, 0, &stats);
+  }
+  const double miss_ns =
+      static_cast<double>(NowNanos() - t0) / kMissReps;
+
+  // ---- Hit path: same request with caching on; first call fills, the
+  // measured calls are pure LRU lookup + envelope assembly.
+  QueryRequest hit_req = SsspRequest(kResidents[0].name, hubs[0]);
+  server.service().Execute(hit_req, 0, &stats);  // fill
+  server.service().Execute(hit_req, 0, &stats);  // warm the hit path
+  GRAPHITE_CHECK(stats.cached);
+  GRAPHITE_CHECK(stats.supersteps == 0);
+  constexpr int kHitReps = 512;
+  const uint64_t a0 = benchalloc::AllocCount();
+  t0 = NowNanos();
+  for (int i = 0; i < kHitReps; ++i) {
+    server.service().Execute(hit_req, 0, &stats);
+  }
+  const double hit_ns = static_cast<double>(NowNanos() - t0) / kHitReps;
+  const double hit_allocs =
+      static_cast<double>(benchalloc::AllocCount() - a0) / kHitReps;
+  const double speedup = hit_ns > 0 ? miss_ns / hit_ns : 0.0;
+
+  // ---- Throughput: mixed request shapes over both graphs through the
+  // full protocol path (parse, admission, per-graph serialization, cache
+  // fast path on repeats), 4 scheduler workers.
+  server.cache().Clear();  // contents only; counters survive by design
+  const ResultCacheStats cache_before = server.cache().stats();
+  std::vector<std::string> lines;
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (size_t g = 0; g < std::size(kResidents); ++g) {
+      for (std::string& l : MixedLines(kResidents[g].name, hubs[g],
+                                       1000 * round + 100 * g)) {
+        lines.push_back(std::move(l));
+      }
+    }
+  }
+  std::atomic<int64_t> responded{0};
+  std::atomic<int64_t> failed{0};
+  t0 = NowNanos();
+  for (const std::string& line : lines) {
+    server.HandleLine(line, [&](std::string response) {
+      responded.fetch_add(1, std::memory_order_relaxed);
+      if (response.find("\"ok\": true") == std::string::npos) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  server.scheduler().Drain();
+  const double mixed_wall_ms = Ms(NowNanos() - t0);
+  const double rps = mixed_wall_ms > 0
+                         ? 1000.0 * static_cast<double>(lines.size()) /
+                               mixed_wall_ms
+                         : 0.0;
+  if (responded.load() != static_cast<int64_t>(lines.size()) ||
+      failed.load() != 0) {
+    std::fprintf(stderr, "error: %lld/%zu responses, %lld failures\n",
+                 static_cast<long long>(responded.load()), lines.size(),
+                 static_cast<long long>(failed.load()));
+    return 1;
+  }
+  const ResultCacheStats cache_stats = server.cache().stats();
+  const SchedulerStats sched_stats = server.scheduler().stats();
+  const int64_t mixed_hits = cache_stats.hits - cache_before.hits;
+  const int64_t mixed_lookups = mixed_hits + cache_stats.misses -
+                                cache_before.misses;
+  const double hit_rate =
+      mixed_lookups > 0
+          ? static_cast<double>(mixed_hits) /
+                static_cast<double>(mixed_lookups)
+          : 0.0;
+
+  std::printf(
+      "Serving bench (scale %.2f, %d cores): miss %.1f us, hit %.2f us "
+      "(%.0fx, %.1f allocs/hit), mixed %zu reqs in %.1f ms (%.0f req/s, "
+      "hit rate %.0f%%, fastpath %lld)\n",
+      scale, threads, miss_ns / 1e3, hit_ns / 1e3, speedup, hit_allocs,
+      lines.size(), mixed_wall_ms, rps, 100.0 * hit_rate,
+      static_cast<long long>(sched_stats.fastpath_hits));
+
+  JsonWriter json(2);
+  json.BeginObject();
+  json.Key("bench").String("server");
+  json.Key("scale").Fixed(scale, 2);
+  json.Key("hardware_concurrency").Int(threads);
+  json.Key("scheduler_threads").Int(options.scheduler.num_threads);
+  json.Key("resident_graphs").Int(std::size(kResidents));
+  json.Key("miss_supersteps").Int(miss_supersteps);
+  json.Key("miss_ns").Fixed(miss_ns, 1);
+  json.Key("hit_ns").Fixed(hit_ns, 1);
+  json.Key("hit_speedup").Fixed(speedup, 2);
+  json.Key("hit_allocs_per_request").Fixed(hit_allocs, 1);
+  json.Key("mixed_requests").Int(static_cast<int64_t>(lines.size()));
+  json.Key("mixed_wall_ms").Fixed(mixed_wall_ms, 3);
+  json.Key("mixed_rps").Fixed(rps, 1);
+  json.Key("cache_hit_rate").Fixed(hit_rate, 4);
+  json.Key("scheduler_fastpath_hits").Int(sched_stats.fastpath_hits);
+  json.Key("scheduler_completed").Int(sched_stats.completed);
+  json.Key("gated").BeginObject();
+  // The serving acceptance: repeated requests answered from cache at
+  // least an order of magnitude faster than the cold run. Encoded as a
+  // 0/1 flag so the gate is robust to absolute timing noise.
+  GateEntry(&json, "server_hit_speedup_ge_10x", speedup >= 10.0 ? 1.0 : 0.0,
+            "higher", /*timing=*/false);
+  GateEntry(&json, "server_hit_allocs_per_request", hit_allocs, "lower",
+            /*timing=*/false);
+  GateEntry(&json, "server_hit_ns", hit_ns, "lower", /*timing=*/true);
+  GateEntry(&json, "server_miss_ns", miss_ns, "lower", /*timing=*/true);
+  GateEntry(&json, "server_mixed_rps", rps, "higher", /*timing=*/true);
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out(json_path);
+  out << json.str() << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(stderr, "[json] wrote %s\n", json_path);
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "bench_common.h"
 #include "icm/warp.h"
 #include "util/arena.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -206,19 +207,15 @@ EngineStats RunEngine(Workload& w, Algorithm a,
   return st;
 }
 
-void JsonKV(std::string* out, const char* key, double value, bool last,
-            const char* better = nullptr, bool timing = false) {
-  char buf[256];
-  if (better == nullptr) {
-    std::snprintf(buf, sizeof(buf), "    \"%s\": %.3f%s\n", key, value,
-                  last ? "" : ",");
-  } else {
-    std::snprintf(
-        buf, sizeof(buf),
-        "    \"%s\": {\"value\": %.3f, \"better\": \"%s\", \"timing\": %s}%s\n",
-        key, value, better, timing ? "true" : "false", last ? "" : ",");
-  }
-  out->append(buf);
+/// One self-describing entry of the "gated" block (the schema
+/// tools/check_bench_regression.py consumes).
+void GateEntry(JsonWriter* json, const char* key, double value,
+               const char* better, bool timing) {
+  json->Key(key).BeginObject();
+  json->Key("value").Fixed(value, 3);
+  json->Key("better").String(better);
+  json->Key("timing").Bool(timing);
+  json->EndObject();
 }
 
 }  // namespace
@@ -235,7 +232,16 @@ int main(int argc, char** argv) {
 
   std::vector<BenchDataset> datasets = LoadCatalog(scale);
 
-  std::string detail;
+  JsonWriter json(2);
+  json.BeginObject();
+  json.Key("bench").String("bench_warp_alloc");
+  json.Key("scale").Fixed(scale, 3);
+  // Recorded so the regression gate can tell whether the baseline's
+  // timing keys were measured on a comparable host (core-count
+  // mismatches downgrade timing gates to warnings).
+  json.Key("hardware_concurrency").UInt(std::thread::hardware_concurrency());
+  json.Key("datasets").BeginArray();
+
   double sum_legacy_allocs = 0, sum_soa_allocs = 0;
   double sum_legacy_ns = 0, sum_soa_ns = 0;
   uint64_t sum_tuples = 0;
@@ -271,23 +277,22 @@ int main(int argc, char** argv) {
     loop_allocs += loop.allocs_per_superstep * loop.supersteps;
     loop_supersteps += loop.supersteps;
 
-    char buf[512];
-    std::snprintf(
-        buf, sizeof(buf),
-        "    {\"dataset\": \"%s\", \"messages\": %zu,\n"
-        "     \"legacy_allocs_per_superstep\": %.1f,"
-        " \"soa_allocs_per_superstep\": %.1f,\n"
-        "     \"legacy_ns_per_tuple\": %.1f, \"soa_ns_per_tuple\": %.1f,\n"
-        "     \"tuples_per_superstep\": %" PRIu64
-        ", \"icm_%s_wall_ms\": %.1f,"
-        " \"icm_allocs_per_superstep\": %.1f}%s\n",
-        ds.name.c_str(), wl.total_msgs, legacy.allocs_per_superstep,
-        soa.allocs_per_superstep, legacy.ns_per_tuple, soa.ns_per_tuple,
-        soa.tuples_per_superstep, AlgorithmName(algo), eng.wall_ms,
-        eng.allocs_per_superstep, d + 1 == datasets.size() ? "" : ",");
-    detail.append(buf);
+    json.BeginObject();
+    json.Key("dataset").String(ds.name);
+    json.Key("messages").UInt(wl.total_msgs);
+    json.Key("legacy_allocs_per_superstep")
+        .Fixed(legacy.allocs_per_superstep, 1);
+    json.Key("soa_allocs_per_superstep").Fixed(soa.allocs_per_superstep, 1);
+    json.Key("legacy_ns_per_tuple").Fixed(legacy.ns_per_tuple, 1);
+    json.Key("soa_ns_per_tuple").Fixed(soa.ns_per_tuple, 1);
+    json.Key("tuples_per_superstep").UInt(soa.tuples_per_superstep);
+    json.Key(std::string("icm_") + AlgorithmName(algo) + "_wall_ms")
+        .Fixed(eng.wall_ms, 1);
+    json.Key("icm_allocs_per_superstep").Fixed(eng.allocs_per_superstep, 1);
+    json.EndObject();
     ds.workload.DropDerived();
   }
+  json.EndArray();
 
   // Aggregates. The alloc ratio is the headline: >=2x fewer heap
   // allocations per superstep is the acceptance floor; the SoA path is
@@ -299,45 +304,34 @@ int main(int argc, char** argv) {
   const double soa_ns_per_tuple =
       sum_tuples == 0 ? 0 : sum_soa_ns / static_cast<double>(sum_tuples);
 
-  std::string json = "{\n  \"bench\": \"bench_warp_alloc\",\n";
-  {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "  \"scale\": %.3f,\n", scale);
-    json.append(buf);
-    // Recorded so the regression gate can tell whether the baseline's
-    // timing keys were measured on a comparable host (core-count
-    // mismatches downgrade timing gates to warnings).
-    std::snprintf(buf, sizeof(buf), "  \"hardware_concurrency\": %u,\n",
-                  std::thread::hardware_concurrency());
-    json.append(buf);
-  }
-  json.append("  \"datasets\": [\n").append(detail).append("  ],\n");
-  json.append("  \"gated\": {\n");
-  JsonKV(&json, "warp_alloc_ratio", alloc_ratio, false, "higher", false);
-  JsonKV(&json, "warp_soa_allocs_per_superstep", sum_soa_allocs, false,
-         "lower", false);
-  JsonKV(&json, "warp_soa_ns_per_tuple", soa_ns_per_tuple, false, "lower",
-         true);
-  JsonKV(&json, "warp_legacy_ns_per_tuple", legacy_ns_per_tuple, false,
-         "lower", true);
-  JsonKV(&json, "icm_e2e_allocs_per_superstep",
-         e2e_supersteps == 0 ? 0 : e2e_allocs / e2e_supersteps, false,
-         "lower", false);
-  JsonKV(&json, "icm_e2e_wall_ms", e2e_ms, false, "lower", true);
+  json.Key("gated").BeginObject();
+  GateEntry(&json, "warp_alloc_ratio", alloc_ratio, "higher", false);
+  GateEntry(&json, "warp_soa_allocs_per_superstep", sum_soa_allocs, "lower",
+            false);
+  GateEntry(&json, "warp_soa_ns_per_tuple", soa_ns_per_tuple, "lower", true);
+  GateEntry(&json, "warp_legacy_ns_per_tuple", legacy_ns_per_tuple, "lower",
+            true);
+  GateEntry(&json, "icm_e2e_allocs_per_superstep",
+            e2e_supersteps == 0 ? 0 : e2e_allocs / e2e_supersteps, "lower",
+            false);
+  GateEntry(&json, "icm_e2e_wall_ms", e2e_ms, "lower", true);
   // Loopback-wire gate (ISSUE 5): the wire path's per-superstep allocation
   // count is deterministic and enforced unconditionally; its wall time —
   // the copy-and-reparse tax over in-process — only in strict mode.
-  JsonKV(&json, "icm_loopback_allocs_per_superstep",
-         loop_supersteps == 0 ? 0 : loop_allocs / loop_supersteps, false,
-         "lower", false);
-  JsonKV(&json, "icm_loopback_wall_ms", loop_ms, true, "lower", true);
-  json.append("  }\n}\n");
+  GateEntry(&json, "icm_loopback_allocs_per_superstep",
+            loop_supersteps == 0 ? 0 : loop_allocs / loop_supersteps,
+            "lower", false);
+  GateEntry(&json, "icm_loopback_wall_ms", loop_ms, "lower", true);
+  json.EndObject();
+  json.EndObject();
 
+  const std::string& text = json.str();
   FILE* f = std::fopen(out_path.c_str(), "w");
   GRAPHITE_CHECK(f != nullptr);
-  std::fwrite(json.data(), 1, json.size(), f);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
-  std::printf("%s", json.c_str());
+  std::printf("%s\n", text.c_str());
   return 0;
 }

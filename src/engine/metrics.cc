@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/json.h"
 #include "util/stats.h"
 
 namespace graphite {
@@ -77,6 +78,36 @@ int64_t RunMetrics::SimulatedMakespanNs(const ClusterModel& model) const {
     total += max_compute + link_ns + per_msg_ns + model.barrier_ns;
   }
   return total;
+}
+
+void RunMetrics::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("supersteps").Int(supersteps);
+  w->Key("compute_calls").Int(compute_calls);
+  w->Key("scatter_calls").Int(scatter_calls);
+  w->Key("messages").Int(messages);
+  w->Key("message_bytes").Int(message_bytes);
+  w->Key("compute_ns").Int(compute_ns);
+  w->Key("messaging_ns").Int(messaging_ns);
+  w->Key("barrier_ns").Int(barrier_ns);
+  w->Key("makespan_ns").Int(makespan_ns);
+  if (steals > 0) w->Key("steals").Int(steals);
+  if (checkpoints > 0) {
+    w->Key("checkpoints").Int(checkpoints);
+    w->Key("checkpoint_ns").Int(checkpoint_ns);
+    w->Key("checkpoint_bytes").Int(checkpoint_bytes);
+  }
+  if (frontier_units > 0) {
+    w->Key("frontier_units").Int(frontier_units);
+    w->Key("frontier_dense_workers").Int(frontier_dense_workers);
+  }
+  if (warp_slices > 0) {
+    w->Key("warp_slices").Int(warp_slices);
+    w->Key("warp_merge_hits").Int(warp_merge_hits);
+  }
+  if (resumed_from >= 0) w->Key("resumed_from").Int(resumed_from);
+  if (interrupted) w->Key("interrupted").Bool(true);
+  w->EndObject();
 }
 
 std::string RunMetrics::ToString() const {

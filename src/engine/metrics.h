@@ -13,6 +13,8 @@
 
 namespace graphite {
 
+class JsonWriter;
+
 /// Per-superstep, per-worker measurements.
 struct SuperstepMetrics {
   std::vector<int64_t> worker_compute_ns;  ///< Compute-phase time per worker.
@@ -121,6 +123,11 @@ struct RunMetrics {
   }
 
   std::string ToString() const;
+
+  /// Emits the aggregate counters as a JSON object in value position
+  /// (timing fields in ns). Used by the query service's per-job metrics
+  /// and machine-readable tooling.
+  void AppendJson(JsonWriter* w) const;
 };
 
 }  // namespace graphite

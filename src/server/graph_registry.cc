@@ -1,0 +1,42 @@
+#include "server/graph_registry.h"
+
+namespace graphite {
+
+uint64_t GraphRegistry::Add(const std::string& name, TemporalGraph g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t epoch = ++epochs_[name];
+  graphs_[name] =
+      std::make_shared<ResidentGraph>(name, epoch, std::move(g));
+  return epoch;
+}
+
+std::shared_ptr<ResidentGraph> GraphRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second;
+}
+
+bool GraphRegistry::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.erase(name) > 0;
+}
+
+std::vector<ResidentGraphInfo> GraphRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResidentGraphInfo> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) {
+    const TemporalGraph& g = entry->workload.graph();
+    out.push_back({name, entry->epoch, g.num_vertices(), g.num_edges(),
+                   g.horizon()});
+  }
+  return out;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace graphite

@@ -1,0 +1,70 @@
+// Resident-graph registry: the serving layer keeps partitioned
+// TemporalGraphs (wrapped in algorithm Workloads, so derived structures —
+// reversed / undirected / transformed graphs — are built once and reused
+// across requests) alive across requests instead of re-loading per run.
+//
+// Entries are handed out as shared_ptr so an in-flight job keeps its graph
+// alive across a concurrent drop/reload; each load bumps a per-name epoch
+// that the result cache keys embed, so stale cached payloads can never be
+// served for a replaced graph.
+//
+// The registry itself is thread-safe. A ResidentGraph's Workload is NOT:
+// its lazy derived-graph builders race if two runs touch the same entry
+// concurrently, which is exactly why the JobScheduler serializes jobs
+// per graph (one at a time per graph, overlap across graphs).
+#ifndef GRAPHITE_SERVER_GRAPH_REGISTRY_H_
+#define GRAPHITE_SERVER_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algorithms/runners.h"
+
+namespace graphite {
+
+struct ResidentGraph {
+  std::string name;
+  uint64_t epoch = 0;  ///< Bumped on every (re)load of this name.
+  Workload workload;
+
+  ResidentGraph(std::string n, uint64_t e, TemporalGraph g)
+      : name(std::move(n)), epoch(e), workload(std::move(g)) {}
+};
+
+struct ResidentGraphInfo {
+  std::string name;
+  uint64_t epoch = 0;
+  size_t vertices = 0;
+  size_t edges = 0;
+  TimePoint horizon = 0;
+};
+
+class GraphRegistry {
+ public:
+  /// Registers (or replaces) `name`; returns the new epoch.
+  uint64_t Add(const std::string& name, TemporalGraph g);
+
+  /// nullptr when absent. The returned entry stays valid (shared
+  /// ownership) even if the name is dropped or replaced meanwhile.
+  std::shared_ptr<ResidentGraph> Get(const std::string& name) const;
+
+  /// True when the name was resident.
+  bool Drop(const std::string& name);
+
+  std::vector<ResidentGraphInfo> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ResidentGraph>> graphs_;
+  std::map<std::string, uint64_t> epochs_;  // survives drops
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_SERVER_GRAPH_REGISTRY_H_

@@ -1,0 +1,121 @@
+// Bounded-admission job scheduler multiplexing many small queries over
+// the resident graphs.
+//
+// Policy (the serving contract the tests pin down):
+//   * Admission — a bounded FIFO queue; a full queue rejects the request
+//     with OutOfRange instead of blocking the connection thread.
+//   * Cache fast path — Submit() first consults the ResultCache; a hit is
+//     answered inline on the submitting thread, without touching the
+//     queue or running a single superstep. This is what makes repeated
+//     requests an order of magnitude faster than cold runs.
+//   * Per-graph serialization — at most one job runs against a graph at
+//     a time (a Workload's lazy derived-graph builders are not
+//     thread-safe), while jobs on *different* graphs overlap freely
+//     across the worker pool. Workers scan the queue FIFO and pick the
+//     first runnable job, so a busy graph never blocks another graph's
+//     queued work (no head-of-line blocking across graphs).
+//
+// `num_threads == 0` is an admission-only mode used by tests: requests
+// queue (or get rejected) deterministically and are executed by explicit
+// RunOneForTest() calls or failed by Stop().
+#ifndef GRAPHITE_SERVER_JOB_SCHEDULER_H_
+#define GRAPHITE_SERVER_JOB_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/query_service.h"
+
+namespace graphite {
+
+struct SchedulerOptions {
+  int num_threads = 4;    ///< 0 = admission-only (tests).
+  size_t max_queue = 128; ///< Queued (not yet running) job bound.
+};
+
+/// Aggregate counters for the `metrics` control op and the bench report.
+struct SchedulerStats {
+  int64_t submitted = 0;      ///< Accepted jobs (queued or fast-pathed).
+  int64_t rejected = 0;       ///< Admission rejections (queue full).
+  int64_t completed = 0;      ///< Jobs run to completion by workers.
+  int64_t fastpath_hits = 0;  ///< Served inline from the cache in Submit.
+  int64_t queue_wait_ns = 0;  ///< Total queue wait across completed jobs.
+  int64_t run_ns = 0;         ///< Total execution time across completed jobs.
+  int64_t supersteps = 0;     ///< Total supersteps across completed jobs.
+  size_t queued = 0;          ///< Currently queued.
+  size_t running = 0;         ///< Currently running.
+};
+
+class JobScheduler {
+ public:
+  /// `service` must outlive the scheduler.
+  JobScheduler(QueryService* service, SchedulerOptions options = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Submits one data-op request. On the cache fast path `done` is
+  /// invoked inline before Submit returns; otherwise the job is queued
+  /// and `done` fires on a worker thread with the response line.
+  /// Returns OutOfRange (without calling `done`) when the queue is full,
+  /// and InvalidArgument for non-data ops.
+  Status Submit(QueryRequest req, std::function<void(std::string)> done);
+
+  /// Blocks until every accepted job has completed.
+  void Drain();
+
+  /// Stops workers; every still-queued job's `done` fires with an
+  /// OutOfRange "server shutting down" error response. Idempotent.
+  void Stop();
+
+  /// Admission-only mode: runs the first runnable queued job on the
+  /// calling thread. Returns false when nothing is runnable.
+  bool RunOneForTest();
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Job {
+    QueryRequest req;
+    std::function<void(std::string)> done;
+    int64_t enqueued_ns = 0;
+  };
+
+  void WorkerLoop();
+  /// Pops the first queued job whose graph is idle; holds mu_.
+  bool PickRunnable(Job* out);
+  void RunJob(Job job);
+
+  QueryService* service_;
+  const SchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals workers: queue changed.
+  std::condition_variable drain_cv_;  ///< Signals Drain/Stop: job finished.
+  std::deque<Job> queue_;
+  std::set<std::string> busy_graphs_;
+  size_t running_ = 0;
+  bool stopping_ = false;
+
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t completed_ = 0;
+  int64_t fastpath_hits_ = 0;
+  int64_t queue_wait_ns_ = 0;
+  int64_t run_ns_ = 0;
+  int64_t supersteps_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace graphite
+
+#endif  // GRAPHITE_SERVER_JOB_SCHEDULER_H_

@@ -1,0 +1,757 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "query/temporal_query.h"
+#include "util/timer.h"
+
+namespace graphite {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Small helpers.
+// ---------------------------------------------------------------------
+
+std::string Lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(c)));
+  return out;
+}
+
+Result<Algorithm> ParseAlgorithmName(const std::string& name) {
+  for (Algorithm a : kAllAlgorithms) {
+    if (Lower(AlgorithmName(a)) == name) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+Result<Platform> ParsePlatformName(const std::string& name) {
+  for (Platform p : {Platform::kIcm, Platform::kMsb, Platform::kChl,
+                     Platform::kTgb, Platform::kGof}) {
+    if (Lower(PlatformName(p)) == name) return p;
+  }
+  return Status::InvalidArgument("unknown platform: " + name);
+}
+
+bool NeedsSource(Algorithm a) {
+  switch (a) {
+    case Algorithm::kBfs:
+    case Algorithm::kSssp:
+    case Algorithm::kEat:
+    case Algorithm::kFast:
+    case Algorithm::kTmst:
+    case Algorithm::kRh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// FNV-1a 64 over the canonical result content; the digest lets clients
+/// compare results across requests without shipping full listings.
+class Digest {
+ public:
+  void MixInt(int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      Mix(static_cast<uint8_t>(static_cast<uint64_t>(v) >> (8 * i)));
+    }
+  }
+  void MixDouble(double d) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    MixInt(static_cast<int64_t>(bits));
+  }
+  std::string Hex() const {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h_));
+    return buf;
+  }
+
+ private:
+  void Mix(uint8_t b) { h_ = (h_ ^ b) * 1099511628211ULL; }
+  uint64_t h_ = 14695981039346656037ULL;
+};
+
+Result<RunConfig> BuildConfig(const QueryRequest& req,
+                              const ServiceOptions& options) {
+  RunConfig c;
+  c.num_workers = req.workers > 0 ? req.workers : options.default_workers;
+  c.source = req.source;
+  c.target = req.target;
+  c.deadline = req.deadline;
+  c.runtime = options.runtime;
+  if (req.mode.empty()) {
+    c.use_threads = options.default_use_threads;
+  } else if (req.mode == "sequential") {
+    c.use_threads = false;
+  } else if (req.mode == "spawn") {
+    c.use_threads = true;
+    c.runtime.scheduling = Scheduling::kSpawn;
+  } else if (req.mode == "pool") {
+    c.use_threads = true;
+    c.runtime.scheduling = Scheduling::kPool;
+  } else if (req.mode == "stealing") {
+    c.use_threads = true;
+    c.runtime.scheduling = Scheduling::kStealing;
+  } else {
+    return Status::InvalidArgument("unknown mode: " + req.mode);
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------
+// Canonical result rendering. Every emitter also feeds the digest over
+// ALL content (the listing may be capped by max_vertices; the digest
+// never is).
+// ---------------------------------------------------------------------
+
+template <typename T, typename EmitValue, typename MixValue>
+void EmitTemporal(const TemporalGraph& g, const TemporalResult<T>& result,
+                  int64_t max_vertices, JsonWriter* w, Digest* digest,
+                  EmitValue emit_value, MixValue mix_value) {
+  int64_t nonempty = 0;
+  int64_t listed = 0;
+  bool truncated = false;
+  w->Key("vertices").BeginArray();
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    const auto& entries = result[v].entries();
+    if (entries.empty()) continue;
+    ++nonempty;
+    digest->MixInt(g.vertex_id(v));
+    for (const auto& e : entries) {
+      digest->MixInt(e.interval.start);
+      digest->MixInt(e.interval.end);
+      mix_value(digest, e.value);
+    }
+    if (max_vertices > 0 && listed >= max_vertices) {
+      truncated = true;
+      continue;
+    }
+    ++listed;
+    w->BeginArray().Int(g.vertex_id(v)).BeginArray();
+    for (const auto& e : entries) {
+      w->BeginArray().Int(e.interval.start).Int(e.interval.end);
+      emit_value(w, e.value);
+      w->EndArray();
+    }
+    w->EndArray().EndArray();
+  }
+  w->EndArray();
+  w->Key("reached").Int(nonempty);
+  if (truncated) w->Key("truncated").Bool(true);
+}
+
+void EmitTemporalInt(const TemporalGraph& g,
+                     const TemporalResult<int64_t>& r, int64_t max_vertices,
+                     JsonWriter* w, Digest* d) {
+  EmitTemporal(
+      g, r, max_vertices, w, d,
+      [](JsonWriter* jw, int64_t v) { jw->Int(v); },
+      [](Digest* dg, int64_t v) { dg->MixInt(v); });
+}
+
+void EmitTemporalDouble(const TemporalGraph& g,
+                        const TemporalResult<double>& r,
+                        int64_t max_vertices, JsonWriter* w, Digest* d) {
+  EmitTemporal(
+      g, r, max_vertices, w, d,
+      [](JsonWriter* jw, double v) { jw->Double(v); },
+      [](Digest* dg, double v) { dg->MixDouble(v); });
+}
+
+void EmitTemporalByte(const TemporalGraph& g,
+                      const TemporalResult<uint8_t>& r, int64_t max_vertices,
+                      JsonWriter* w, Digest* d) {
+  EmitTemporal(
+      g, r, max_vertices, w, d,
+      [](JsonWriter* jw, uint8_t v) { jw->Int(v); },
+      [](Digest* dg, uint8_t v) { dg->MixInt(v); });
+}
+
+/// Scalar per-vertex results (EAT/FAST/LD); `absent` entries are skipped.
+void EmitScalar(const TemporalGraph& g, const std::vector<int64_t>& values,
+                int64_t absent, int64_t max_vertices, JsonWriter* w,
+                Digest* digest) {
+  int64_t reached = 0;
+  int64_t listed = 0;
+  bool truncated = false;
+  w->Key("values").BeginArray();
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    if (values[v] == absent) continue;
+    ++reached;
+    digest->MixInt(g.vertex_id(v));
+    digest->MixInt(values[v]);
+    if (max_vertices > 0 && listed >= max_vertices) {
+      truncated = true;
+      continue;
+    }
+    ++listed;
+    w->BeginArray().Int(g.vertex_id(v)).Int(values[v]).EndArray();
+  }
+  w->EndArray();
+  w->Key("reached").Int(reached);
+  if (truncated) w->Key("truncated").Bool(true);
+}
+
+Status RenderRun(const QueryRequest& req, Workload& w,
+                 const ServiceOptions& options, JsonWriter* out,
+                 RunMetrics* metrics) {
+  auto alg = ParseAlgorithmName(req.alg);
+  GRAPHITE_RETURN_NOT_OK(alg.status());
+  auto platform = ParsePlatformName(req.platform);
+  GRAPHITE_RETURN_NOT_OK(platform.status());
+  if (!Supports(*platform, *alg)) {
+    return Status::InvalidArgument(
+        std::string(PlatformName(*platform)) + " does not support " +
+        AlgorithmName(*alg) + " (TI: icm/msb/chl; TD: icm/tgb/gof)");
+  }
+  auto config = BuildConfig(req, options);
+  GRAPHITE_RETURN_NOT_OK(config.status());
+  const TemporalGraph& g = w.graph();
+  if (NeedsSource(*alg) && !g.IndexOf(req.source)) {
+    return Status::NotFound("source vertex " + std::to_string(req.source) +
+                            " not in graph");
+  }
+
+  out->Key("type").String("run");
+  out->Key("alg").String(AlgorithmName(*alg));
+  out->Key("platform").String(PlatformName(*platform));
+  Digest digest;
+  switch (*alg) {
+    case Algorithm::kBfs:
+      EmitTemporalInt(g, RunBfsOn(w, *platform, *config, metrics),
+                      req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kWcc:
+      EmitTemporalInt(g, RunWccOn(w, *platform, *config, metrics),
+                      req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kScc:
+      EmitTemporalInt(g, RunSccOn(w, *platform, *config, metrics),
+                      req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kPr:
+      EmitTemporalDouble(g, RunPrOn(w, *platform, *config, metrics),
+                         req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kSssp:
+      EmitTemporalInt(g, RunSsspOn(w, *platform, *config, metrics),
+                      req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kEat:
+      EmitScalar(g, RunEatOn(w, *platform, *config, metrics), kInfCost,
+                 req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kFast:
+      EmitScalar(g, RunFastOn(w, *platform, *config, metrics), kInfCost,
+                 req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kLd:
+      EmitScalar(g, RunLdOn(w, *platform, *config, metrics), kNegInf,
+                 req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kTmst: {
+      const auto tree = RunTmstOn(w, *platform, *config, metrics);
+      int64_t reached = 0;
+      int64_t listed = 0;
+      bool truncated = false;
+      out->Key("values").BeginArray();
+      for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+        if (tree[v].first == kInfCost) continue;
+        ++reached;
+        digest.MixInt(g.vertex_id(v));
+        digest.MixInt(tree[v].first);
+        digest.MixInt(tree[v].second);
+        if (req.max_vertices > 0 && listed >= req.max_vertices) {
+          truncated = true;
+          continue;
+        }
+        ++listed;
+        out->BeginArray()
+            .Int(g.vertex_id(v))
+            .Int(tree[v].first)
+            .Int(tree[v].second)
+            .EndArray();
+      }
+      out->EndArray();
+      out->Key("reached").Int(reached);
+      if (truncated) out->Key("truncated").Bool(true);
+      break;
+    }
+    case Algorithm::kRh:
+      EmitTemporalByte(g, RunRhOn(w, *platform, *config, metrics),
+                       req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kLcc:
+      EmitTemporalDouble(g, RunLccOn(w, *platform, *config, metrics),
+                         req.max_vertices, out, &digest);
+      break;
+    case Algorithm::kTc:
+      EmitTemporalInt(g, RunTcOn(w, *platform, *config, metrics),
+                      req.max_vertices, out, &digest);
+      break;
+  }
+  out->Key("digest").String(digest.Hex());
+  return Status::OK();
+}
+
+Status RenderPath(const QueryRequest& req, Workload& w,
+                  const ServiceOptions& options, JsonWriter* out,
+                  RunMetrics* metrics) {
+  auto config = BuildConfig(req, options);
+  GRAPHITE_RETURN_NOT_OK(config.status());
+  const TemporalGraph& g = w.graph();
+  if (!g.IndexOf(req.source)) {
+    return Status::NotFound("source vertex " + std::to_string(req.source) +
+                            " not in graph");
+  }
+  if (req.target < 0) {
+    return Status::InvalidArgument("path query requires \"target\"");
+  }
+  const auto tgt = g.IndexOf(req.target);
+  if (!tgt) {
+    return Status::NotFound("target vertex " + std::to_string(req.target) +
+                            " not in graph");
+  }
+
+  out->Key("type").String("path");
+  out->Key("kind").String(req.kind);
+  out->Key("source").Int(req.source);
+  out->Key("target").Int(req.target);
+
+  auto emit_entries = [&](const IntervalMap<int64_t>& m) {
+    out->Key("entries").BeginArray();
+    for (const auto& e : m.entries()) {
+      out->BeginArray().Int(e.interval.start).Int(e.interval.end).Int(
+          e.value);
+      out->EndArray();
+    }
+    out->EndArray();
+  };
+
+  if (req.kind == "eat") {
+    const auto eat = RunEatOn(w, Platform::kIcm, *config, metrics);
+    const bool ok = eat[*tgt] != kInfCost;
+    out->Key("reachable").Bool(ok);
+    if (ok) out->Key("value").Int(eat[*tgt]);
+  } else if (req.kind == "sssp") {
+    const auto costs = RunSsspOn(w, Platform::kIcm, *config, metrics);
+    int64_t best = kInfCost;
+    for (const auto& e : costs[*tgt].entries()) {
+      best = std::min(best, e.value);
+    }
+    out->Key("reachable").Bool(best != kInfCost);
+    if (best != kInfCost) out->Key("value").Int(best);
+    emit_entries(costs[*tgt]);
+  } else if (req.kind == "fast") {
+    const auto fastest = RunFastOn(w, Platform::kIcm, *config, metrics);
+    const bool ok = fastest[*tgt] != kInfCost;
+    out->Key("reachable").Bool(ok);
+    if (ok) out->Key("value").Int(fastest[*tgt]);
+  } else if (req.kind == "ld") {
+    // Latest departure FROM `source` that reaches `target` by `deadline`.
+    const auto latest = RunLdOn(w, Platform::kIcm, *config, metrics);
+    const auto src = g.IndexOf(req.source);
+    const bool ok = latest[*src] != kNegInf;
+    out->Key("reachable").Bool(ok);
+    if (ok) out->Key("value").Int(latest[*src]);
+  } else if (req.kind == "reach") {
+    const auto reach = RunRhOn(w, Platform::kIcm, *config, metrics);
+    const auto& entries = reach[*tgt].entries();
+    out->Key("reachable").Bool(!entries.empty());
+    out->Key("intervals").BeginArray();
+    for (const auto& e : entries) {
+      out->BeginArray().Int(e.interval.start).Int(e.interval.end).EndArray();
+    }
+    out->EndArray();
+  } else {
+    return Status::InvalidArgument(
+        "unknown path kind: \"" + req.kind +
+        "\" (want eat|sssp|fast|ld|reach)");
+  }
+  return Status::OK();
+}
+
+Status RenderReachAt(const QueryRequest& req, Workload& w,
+                     const ServiceOptions& options, JsonWriter* out,
+                     RunMetrics* metrics) {
+  auto config = BuildConfig(req, options);
+  GRAPHITE_RETURN_NOT_OK(config.status());
+  const TemporalGraph& g = w.graph();
+  if (!g.IndexOf(req.source)) {
+    return Status::NotFound("source vertex " + std::to_string(req.source) +
+                            " not in graph");
+  }
+  if (req.at < 0) {
+    return Status::InvalidArgument("reach_at requires \"at\" >= 0");
+  }
+  const auto reach = RunRhOn(w, Platform::kIcm, *config, metrics);
+  out->Key("type").String("reach_at");
+  out->Key("source").Int(req.source);
+  out->Key("at").Int(req.at);
+  Digest digest;
+  int64_t count = 0;
+  int64_t listed = 0;
+  bool truncated = false;
+  out->Key("vertices").BeginArray();
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    if (ResultAt<uint8_t>(reach, v, req.at, 0) != 1) continue;
+    ++count;
+    digest.MixInt(g.vertex_id(v));
+    if (req.max_vertices > 0 && listed >= req.max_vertices) {
+      truncated = true;
+      continue;
+    }
+    ++listed;
+    out->Int(g.vertex_id(v));
+  }
+  out->EndArray();
+  out->Key("count").Int(count);
+  if (truncated) out->Key("truncated").Bool(true);
+  out->Key("digest").String(digest.Hex());
+  return Status::OK();
+}
+
+Status RenderBfsAt(const QueryRequest& req, Workload& w,
+                   const ServiceOptions& options, JsonWriter* out,
+                   RunMetrics* metrics) {
+  auto config = BuildConfig(req, options);
+  GRAPHITE_RETURN_NOT_OK(config.status());
+  const TemporalGraph& g = w.graph();
+  if (!g.IndexOf(req.source)) {
+    return Status::NotFound("source vertex " + std::to_string(req.source) +
+                            " not in graph");
+  }
+  if (req.at < 0) {
+    return Status::InvalidArgument("bfs_at requires \"at\" >= 0");
+  }
+  const auto levels = RunBfsOn(w, Platform::kIcm, *config, metrics);
+  out->Key("type").String("bfs_at");
+  out->Key("source").Int(req.source);
+  out->Key("at").Int(req.at);
+  Digest digest;
+  int64_t count = 0;
+  int64_t listed = 0;
+  bool truncated = false;
+  out->Key("vertices").BeginArray();
+  for (VertexIdx v = 0; v < g.num_vertices(); ++v) {
+    const auto level = levels[v].Get(req.at);
+    if (!level) continue;
+    ++count;
+    digest.MixInt(g.vertex_id(v));
+    digest.MixInt(*level);
+    if (req.max_vertices > 0 && listed >= req.max_vertices) {
+      truncated = true;
+      continue;
+    }
+    ++listed;
+    out->BeginArray().Int(g.vertex_id(v)).Int(*level).EndArray();
+  }
+  out->EndArray();
+  out->Key("count").Int(count);
+  if (truncated) out->Key("truncated").Bool(true);
+  out->Key("digest").String(digest.Hex());
+  return Status::OK();
+}
+
+Status RenderStats(const QueryRequest& req, Workload& w, JsonWriter* out) {
+  const TemporalGraph& g = w.graph();
+  out->Key("type").String("stats");
+  out->Key("vertices").Int(static_cast<int64_t>(g.num_vertices()));
+  out->Key("edges").Int(static_cast<int64_t>(g.num_edges()));
+  out->Key("horizon").Int(g.horizon());
+  if (!req.label.empty()) {
+    const PropertyStats stats =
+        AggregateEdgeProperty(g, req.label, Interval(0, g.horizon()));
+    out->Key("property").BeginObject();
+    out->Key("label").String(req.label);
+    out->Key("count").Int(stats.count);
+    out->Key("min").Int(stats.min);
+    out->Key("max").Int(stats.max);
+    out->Key("mean").Double(stats.mean);
+    out->EndObject();
+  }
+  return Status::OK();
+}
+
+Status RenderOps(const QueryRequest& req, Workload& w,
+                 const ServiceOptions& options, JsonWriter* out,
+                 RunMetrics* metrics) {
+  out->BeginObject();
+  Status s;
+  if (req.op == "run") {
+    s = RenderRun(req, w, options, out, metrics);
+  } else if (req.op == "path") {
+    s = RenderPath(req, w, options, out, metrics);
+  } else if (req.op == "reach_at") {
+    s = RenderReachAt(req, w, options, out, metrics);
+  } else if (req.op == "bfs_at") {
+    s = RenderBfsAt(req, w, options, out, metrics);
+  } else if (req.op == "stats") {
+    s = RenderStats(req, w, out);
+  } else {
+    s = Status::InvalidArgument("unknown data op: " + req.op);
+  }
+  if (s.ok()) out->EndObject();
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// QueryService.
+// ---------------------------------------------------------------------
+
+QueryService::QueryService(GraphRegistry* registry, ResultCache* cache,
+                           ServiceOptions options)
+    : registry_(registry), cache_(cache), options_(options) {}
+
+bool QueryService::IsDataOp(const std::string& op) {
+  return op == "run" || op == "path" || op == "reach_at" ||
+         op == "bfs_at" || op == "stats";
+}
+
+Result<QueryRequest> QueryService::Parse(const std::string& line) {
+  auto doc = ParseJson(line);
+  GRAPHITE_RETURN_NOT_OK(doc.status());
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue* op = doc->Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("request needs a string \"op\"");
+  }
+  QueryRequest r;
+  r.op = op->AsString();
+  r.id = doc->GetInt("id", -1);
+  r.graph = doc->GetString("graph");
+  r.alg = doc->GetString("alg");
+  r.platform = doc->GetString("platform", "icm");
+  r.kind = doc->GetString("kind");
+  r.label = doc->GetString("label");
+  r.source = doc->GetInt("source", 0);
+  r.target = doc->GetInt("target", -1);
+  r.deadline = doc->GetInt("deadline", -1);
+  r.at = doc->GetInt("at", -1);
+  r.workers = static_cast<int>(doc->GetInt("workers", 0));
+  r.mode = doc->GetString("mode");
+  r.use_cache = doc->GetBool("cache", true);
+  r.want_metrics = doc->GetBool("metrics", false);
+  r.max_vertices = doc->GetInt("max_vertices", 0);
+  r.dataset = doc->GetString("dataset");
+  r.scale = doc->GetDouble("scale", 1.0);
+  r.file = doc->GetString("file");
+
+  if (const JsonValue* win = doc->Find("window")) {
+    if (!win->is_array() || win->items().size() != 2 ||
+        !win->items()[0].is_number() || !win->items()[1].is_number()) {
+      return Status::InvalidArgument(
+          "\"window\" must be [from, to] with numeric bounds");
+    }
+    const Interval w(win->items()[0].AsInt(), win->items()[1].AsInt());
+    if (!w.IsValid()) {
+      return Status::InvalidArgument("empty window " + w.ToString());
+    }
+    r.window = w;
+  }
+  if (const JsonValue* sel = doc->Find("select")) {
+    if (!sel->is_object()) {
+      return Status::InvalidArgument("\"select\" must be an object");
+    }
+    const Interval w(sel->GetInt("from", 0), sel->GetInt("to", 0));
+    if (!w.IsValid()) {
+      return Status::InvalidArgument("empty select window " + w.ToString());
+    }
+    r.select_window = w;
+    r.select_pred = sel->GetString("pred", "intersects");
+    if (r.select_pred != "intersects" && r.select_pred != "contained_in" &&
+        r.select_pred != "contains") {
+      return Status::InvalidArgument(
+          "unknown select pred: \"" + r.select_pred +
+          "\" (want intersects|contained_in|contains)");
+    }
+  }
+  return r;
+}
+
+Result<std::string> QueryService::RenderFragment(const QueryRequest& req,
+                                                 Workload& base,
+                                                 RunMetrics* metrics) {
+  ServiceOptions options;  // static entry point: library defaults
+  return RenderFragmentWith(req, base, options, metrics);
+}
+
+Result<std::string> QueryService::RenderFragmentWith(
+    const QueryRequest& req, Workload& base, const ServiceOptions& options,
+    RunMetrics* metrics) {
+  RunMetrics local;
+  if (metrics == nullptr) metrics = &local;
+  JsonWriter w;
+  if (!req.select_window && !req.window) {
+    GRAPHITE_RETURN_NOT_OK(RenderOps(req, base, options, &w, metrics));
+    return w.Take();
+  }
+  // Query-layer pre-filters build a request-local graph; derived
+  // structures for it are built (and dropped) per request.
+  std::optional<TemporalGraph> stage;
+  const TemporalGraph* cur = &base.graph();
+  if (req.select_window) {
+    TemporalPredicate pred;
+    if (req.select_pred == "contained_in") {
+      pred = TemporalPredicate::ContainedIn(*req.select_window);
+    } else if (req.select_pred == "contains") {
+      pred = TemporalPredicate::Contains(*req.select_window);
+    } else {
+      pred = TemporalPredicate::Intersects(*req.select_window);
+    }
+    stage = TemporalSelect(*cur, pred);
+    cur = &*stage;
+  }
+  if (req.window) {
+    stage = TimeSlice(*cur, *req.window);
+    cur = &*stage;
+  }
+  Workload filtered(std::move(*stage));
+  GRAPHITE_RETURN_NOT_OK(RenderOps(req, filtered, options, &w, metrics));
+  return w.Take();
+}
+
+std::string QueryService::GraphPrefix(const std::string& graph_name) {
+  return graph_name + '\x1f';
+}
+
+std::string QueryService::CacheKey(const QueryRequest& req,
+                                   const ResidentGraph& g) {
+  std::string k = GraphPrefix(g.name);
+  k += std::to_string(g.epoch);
+  auto add = [&k](const std::string& s) {
+    k += '\x1f';
+    k += s;
+  };
+  add(req.op);
+  add(req.alg);
+  add(req.platform);
+  add(req.kind);
+  add(req.label);
+  add(std::to_string(req.source));
+  add(std::to_string(req.target));
+  add(std::to_string(req.deadline));
+  add(std::to_string(req.at));
+  add(std::to_string(req.workers));
+  add(std::to_string(req.max_vertices));
+  if (req.window) {
+    add("w" + std::to_string(req.window->start) + ":" +
+        std::to_string(req.window->end));
+  } else {
+    add("-");
+  }
+  if (req.select_window) {
+    add("s" + req.select_pred + ":" +
+        std::to_string(req.select_window->start) + ":" +
+        std::to_string(req.select_window->end));
+  } else {
+    add("-");
+  }
+  return k;
+}
+
+std::string QueryService::ErrorResponse(int64_t id, const std::string& op,
+                                        const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Int(id);
+  w.Key("ok").Bool(false);
+  if (!op.empty()) w.Key("op").String(op);
+  w.Key("error").BeginObject();
+  w.Key("code").String(StatusCodeName(status.code()));
+  w.Key("message").String(status.message());
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string QueryService::Envelope(const QueryRequest& req,
+                                   const std::string& fragment,
+                                   const ExecStats& stats,
+                                   int64_t queue_wait_ns,
+                                   const RunMetrics* metrics) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Int(req.id);
+  w.Key("ok").Bool(true);
+  w.Key("op").String(req.op);
+  w.Key("graph").String(req.graph);
+  w.Key("cached").Bool(stats.cached);
+  w.Key("result").Raw(fragment);
+  w.Key("server").BeginObject();
+  w.Key("queue_ns").Int(queue_wait_ns);
+  w.Key("run_ns").Int(stats.run_ns);
+  w.Key("supersteps").Int(stats.supersteps);
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    metrics->AppendJson(&w);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::optional<std::string> QueryService::TryServeFromCache(
+    const QueryRequest& req, ExecStats* stats) {
+  if (cache_ == nullptr || !req.use_cache || !IsDataOp(req.op)) {
+    return std::nullopt;
+  }
+  auto entry = registry_->Get(req.graph);
+  if (entry == nullptr) return std::nullopt;
+  auto hit = cache_->GetIfPresent(CacheKey(req, *entry));
+  if (!hit) return std::nullopt;
+  ExecStats es;
+  es.cached = true;
+  if (stats != nullptr) *stats = es;
+  return Envelope(req, *hit, es, /*queue_wait_ns=*/0, nullptr);
+}
+
+std::string QueryService::Execute(const QueryRequest& req,
+                                  int64_t queue_wait_ns, ExecStats* stats) {
+  ExecStats es;
+  if (stats == nullptr) stats = &es;
+  *stats = ExecStats{};
+  if (!IsDataOp(req.op)) {
+    return ErrorResponse(req.id, req.op,
+                         Status::InvalidArgument("unknown op: " + req.op));
+  }
+  auto entry = registry_->Get(req.graph);
+  if (entry == nullptr) {
+    return ErrorResponse(
+        req.id, req.op,
+        Status::NotFound("graph not resident: \"" + req.graph + "\""));
+  }
+  const std::string key = CacheKey(req, *entry);
+  if (cache_ != nullptr && req.use_cache) {
+    if (auto hit = cache_->Get(key)) {
+      stats->cached = true;
+      return Envelope(req, *hit, *stats, queue_wait_ns, nullptr);
+    }
+  }
+  RunMetrics metrics;
+  const int64_t t0 = NowNanos();
+  auto fragment =
+      RenderFragmentWith(req, entry->workload, options_, &metrics);
+  stats->run_ns = NowNanos() - t0;
+  if (!fragment.ok()) {
+    return ErrorResponse(req.id, req.op, fragment.status());
+  }
+  stats->supersteps = metrics.supersteps;
+  if (cache_ != nullptr && req.use_cache) cache_->Put(key, *fragment);
+  return Envelope(req, *fragment, *stats, queue_wait_ns,
+                  req.want_metrics ? &metrics : nullptr);
+}
+
+}  // namespace graphite

@@ -1,0 +1,134 @@
+// graphite_server — line-delimited JSON temporal query service.
+//
+//   graphite_server --stdio --preload t=twitter:0.1
+//   graphite_server --port 7171 --threads 4 --preload t=twitter --preload
+//       r=reddit
+//
+// Protocol: one JSON object per line; see src/server/server.h and the
+// README "serving" quickstart.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: graphite_server [--port N | --stdio] [options]\n"
+               "  --port N           listen on 127.0.0.1:N (0 = ephemeral)\n"
+               "  --stdio            serve stdin/stdout instead of TCP\n"
+               "  --threads N        scheduler worker threads (default 4)\n"
+               "  --queue N          admission queue bound (default 128)\n"
+               "  --cache-entries N  result cache entries (default 1024)\n"
+               "  --cache-mb N       result cache size bound in MiB\n"
+               "  --workers N        default per-request workers (default 4)\n"
+               "  --preload NAME=DATASET[:SCALE]  generate + register a\n"
+               "                     catalog dataset before serving\n"
+               "  --preload NAME=@FILE            load a text-format graph\n");
+}
+
+struct Preload {
+  std::string name;
+  std::string source;  // dataset[:scale] or @file
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  graphite::ServerOptions options;
+  int port = -1;
+  bool stdio = false;
+  std::vector<Preload> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--threads") {
+      options.scheduler.num_threads = std::atoi(next());
+    } else if (arg == "--queue") {
+      options.scheduler.max_queue =
+          static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--cache-entries") {
+      options.cache_entries = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--cache-mb") {
+      options.cache_bytes =
+          static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--workers") {
+      options.service.default_workers = std::atoi(next());
+    } else if (arg == "--preload") {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "bad --preload spec: %s\n", spec.c_str());
+        return 2;
+      }
+      preloads.push_back({spec.substr(0, eq), spec.substr(eq + 1)});
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (stdio == (port >= 0)) {
+    std::fprintf(stderr, "pick exactly one of --stdio / --port\n");
+    Usage();
+    return 2;
+  }
+
+  graphite::Server server(options);
+  for (const Preload& p : preloads) {
+    graphite::Status s;
+    if (!p.source.empty() && p.source[0] == '@') {
+      s = server.LoadFile(p.name, p.source.substr(1));
+    } else {
+      double scale = 1.0;
+      std::string dataset = p.source;
+      const size_t colon = dataset.rfind(':');
+      if (colon != std::string::npos) {
+        scale = std::atof(dataset.c_str() + colon + 1);
+        dataset.resize(colon);
+      }
+      s = server.LoadDataset(p.name, dataset, scale);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "preload %s failed: %s\n", p.name.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "preloaded %s (%s)\n", p.name.c_str(),
+                 p.source.c_str());
+  }
+
+  if (stdio) {
+    server.ServeStream(std::cin, std::cout);
+    return 0;
+  }
+  auto bound = server.ListenTcp(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  // Machine-readable startup line (tests and scripts parse this).
+  std::fprintf(stdout, "{\"ready\": true, \"port\": %d}\n", *bound);
+  std::fflush(stdout);
+  server.ServeTcp();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Unit tests for the serving layer's LRU result cache: keying, strict
+// LRU eviction over entry and byte bounds, prefix invalidation, and the
+// hit/miss/eviction counters the bench gate relies on.
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace graphite {
+namespace {
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Get("k1").has_value());
+  cache.Put("k1", "v1");
+  auto hit = cache.Get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "v1");
+  const ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.inserts, 1);
+  EXPECT_EQ(s.entries, 1);
+}
+
+TEST(ResultCacheTest, LruEvictionOrder) {
+  ResultCache cache(2);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh: b is now LRU
+  cache.Put("c", "3");                      // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingKey) {
+  ResultCache cache(2);
+  cache.Put("a", "old");
+  cache.Put("b", "2");
+  cache.Put("a", "new");  // refresh, not insert: a becomes most recent
+  cache.Put("c", "3");    // evicts b
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_EQ(cache.stats().inserts, 3);
+}
+
+TEST(ResultCacheTest, ByteBoundEvicts) {
+  ResultCache cache(100, /*max_bytes=*/10);
+  cache.Put("a", "12345678");  // 1 + 8 = 9 bytes
+  cache.Put("b", "1234");      // 1 + 4 = 5 bytes -> evicts a
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("b").has_value());
+  const ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.bytes, 5);
+  EXPECT_EQ(s.evictions, 1);
+}
+
+TEST(ResultCacheTest, OversizedPayloadNotAdmitted) {
+  ResultCache cache(100, /*max_bytes=*/4);
+  cache.Put("k", "way too large");
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().evictions, 0);  // nothing was evicted for it
+}
+
+TEST(ResultCacheTest, ZeroEntriesDisables) {
+  ResultCache cache(0);
+  cache.Put("k", "v");
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(ResultCacheTest, ErasePrefixInvalidatesOneGraph) {
+  ResultCache cache(10);
+  cache.Put("g1\x1f" "bfs", "a");
+  cache.Put("g1\x1f" "pr", "b");
+  cache.Put("g2\x1f" "bfs", "c");
+  EXPECT_EQ(cache.ErasePrefix("g1\x1f"), 2);
+  EXPECT_FALSE(cache.Get("g1\x1f" "bfs").has_value());
+  EXPECT_TRUE(cache.Get("g2\x1f" "bfs").has_value());
+  // Invalidation is not an eviction (capacity was never exceeded).
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(ResultCacheTest, GetIfPresentDoesNotCountMisses) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.GetIfPresent("k").has_value());
+  EXPECT_EQ(cache.stats().misses, 0);
+  cache.Put("k", "v");
+  ASSERT_TRUE(cache.GetIfPresent("k").has_value());
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ResultCacheTest, ClearResetsContentsNotCounters) {
+  ResultCache cache(4);
+  cache.Put("k", "v");
+  ASSERT_TRUE(cache.Get("k").has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Get("k").has_value());
+  const ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0);
+  EXPECT_EQ(s.bytes, 0);
+  EXPECT_EQ(s.hits, 1);  // history survives Clear
+}
+
+}  // namespace
+}  // namespace graphite

@@ -1,0 +1,440 @@
+// Serving-layer tests: interleaved scheduler jobs must be byte-identical
+// to standalone engine runs (across scheduling modes), repeated requests
+// must be served from the ResultCache without re-running supersteps, the
+// bounded admission queue must reject deterministically, and both wire
+// fronts (TCP and stream) must speak the protocol end to end.
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "testutil.h"
+
+namespace graphite {
+namespace {
+
+QueryRequest MustParse(const std::string& line) {
+  auto req = QueryService::Parse(line);
+  GRAPHITE_CHECK(req.ok());
+  return *req;
+}
+
+/// The standalone expectation: the canonical fragment rendered against a
+/// fresh single-use Workload, no server anywhere in sight.
+std::string Standalone(const QueryRequest& req, const TemporalGraph& g) {
+  Workload w{TemporalGraph(g)};
+  auto fragment = QueryService::RenderFragment(req, w);
+  GRAPHITE_CHECK(fragment.ok());
+  return *fragment;
+}
+
+/// The mixed request set the concurrency tests replay over each graph.
+std::vector<std::string> MixedRequests(const std::string& graph) {
+  const std::string g = "\"graph\":\"" + graph + "\"";
+  return {
+      "{\"op\":\"run\"," + g + ",\"alg\":\"bfs\",\"source\":0}",
+      "{\"op\":\"run\"," + g + ",\"alg\":\"wcc\",\"platform\":\"msb\"}",
+      "{\"op\":\"run\"," + g + ",\"alg\":\"pr\"}",
+      "{\"op\":\"run\"," + g + ",\"alg\":\"sssp\",\"source\":0}",
+      "{\"op\":\"run\"," + g + ",\"alg\":\"eat\",\"source\":0,"
+          "\"platform\":\"tgb\"}",
+      "{\"op\":\"run\"," + g + ",\"alg\":\"bfs\",\"source\":0,"
+          "\"window\":[1,8]}",
+      "{\"op\":\"path\"," + g + ",\"kind\":\"eat\",\"source\":0,"
+          "\"target\":4}",
+      "{\"op\":\"reach_at\"," + g + ",\"source\":0,\"at\":6}",
+      "{\"op\":\"bfs_at\"," + g + ",\"source\":0,\"at\":6}",
+      "{\"op\":\"stats\"," + g + "}",
+  };
+}
+
+TEST(QueryServiceTest, ExecuteMatchesStandaloneRender) {
+  GraphRegistry registry;
+  ResultCache cache(64);
+  QueryService service(&registry, &cache);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  const TemporalGraph standalone_graph = testutil::MakeTransitGraph();
+  for (const std::string& line : MixedRequests("t")) {
+    const QueryRequest req = MustParse(line);
+    const std::string expected = Standalone(req, standalone_graph);
+    const std::string response = service.Execute(req);
+    EXPECT_NE(response.find("\"ok\": true"), std::string::npos) << response;
+    // Byte-identity: the response embeds the standalone fragment verbatim.
+    EXPECT_NE(response.find(expected), std::string::npos)
+        << line << "\n" << response;
+  }
+}
+
+TEST(QueryServiceTest, ResultFragmentIdenticalAcrossSchedulingModes) {
+  GraphRegistry registry;
+  QueryService service(&registry, /*cache=*/nullptr);
+  registry.Add("t", testutil::MakeTransitGraph());
+  const TemporalGraph standalone_graph = testutil::MakeTransitGraph();
+
+  for (const std::string& line : MixedRequests("t")) {
+    QueryRequest req = MustParse(line);
+    const std::string expected = Standalone(req, standalone_graph);
+    for (const char* mode :
+         {"sequential", "spawn", "pool", "stealing"}) {
+      req.mode = mode;
+      req.workers = 4;
+      const std::string response = service.Execute(req);
+      EXPECT_NE(response.find(expected), std::string::npos)
+          << line << " mode=" << mode << "\n" << response;
+    }
+  }
+}
+
+TEST(QueryServiceTest, RepeatedRequestServedFromCache) {
+  GraphRegistry registry;
+  ResultCache cache(64);
+  QueryService service(&registry, &cache);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  const QueryRequest req = MustParse(
+      "{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"sssp\",\"source\":0}");
+  ExecStats first, second;
+  const std::string cold = service.Execute(req, 0, &first);
+  const std::string warm = service.Execute(req, 0, &second);
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.supersteps, 0);  // no supersteps re-run on a hit
+  EXPECT_EQ(cache.stats().hits, 1);
+  // Identical result fragment on hit and miss.
+  const std::string expected =
+      Standalone(req, testutil::MakeTransitGraph());
+  EXPECT_NE(cold.find(expected), std::string::npos);
+  EXPECT_NE(warm.find(expected), std::string::npos);
+  EXPECT_NE(cold.find("\"cached\": false"), std::string::npos);
+  EXPECT_NE(warm.find("\"cached\": true"), std::string::npos);
+}
+
+TEST(QueryServiceTest, ReloadBumpsEpochAndMissesCache) {
+  GraphRegistry registry;
+  ResultCache cache(64);
+  QueryService service(&registry, &cache);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  const QueryRequest req = MustParse(
+      "{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"bfs\",\"source\":0}");
+  ExecStats stats;
+  service.Execute(req, 0, &stats);
+  registry.Add("t", testutil::MakeTransitGraph());  // reload: new epoch
+  service.Execute(req, 0, &stats);
+  EXPECT_FALSE(stats.cached);  // epoch in the key -> no stale hit
+}
+
+TEST(QueryServiceTest, ErrorsBecomeErrorResponses) {
+  GraphRegistry registry;
+  QueryService service(&registry, nullptr);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  const std::string missing_graph = service.Execute(
+      MustParse("{\"op\":\"run\",\"graph\":\"nope\",\"alg\":\"bfs\"}"));
+  EXPECT_NE(missing_graph.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(missing_graph.find("NotFound"), std::string::npos);
+
+  const std::string bad_alg = service.Execute(
+      MustParse("{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"nope\"}"));
+  EXPECT_NE(bad_alg.find("InvalidArgument"), std::string::npos);
+
+  const std::string bad_combo = service.Execute(MustParse(
+      "{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"sssp\","
+      "\"platform\":\"msb\"}"));
+  EXPECT_NE(bad_combo.find("InvalidArgument"), std::string::npos);
+}
+
+// The acceptance scenario: >= 64 concurrent mixed requests over >= 2
+// resident graphs, every response byte-identical to a standalone run.
+TEST(ServerConcurrencyTest, InterleavedJobsMatchStandalone) {
+  ServerOptions options;
+  options.scheduler.num_threads = 4;
+  Server server(options);
+  // Full-lifespan vertices so every request shape (windowed runs, source
+  // vertex 0) is valid on the random graph too.
+  testutil::RandomGraphOptions ropt;
+  ropt.full_lifespan_prob = 1.0;
+  server.registry().Add("t", testutil::MakeTransitGraph());
+  server.registry().Add("r", testutil::MakeRandomGraph(77, ropt));
+
+  const TemporalGraph transit = testutil::MakeTransitGraph();
+  const TemporalGraph random = testutil::MakeRandomGraph(77, ropt);
+
+  // 2 graphs x 10 request shapes x 4 repeats = 80 requests. Repeats make
+  // the cache and the pipelining path work; expectations are computed
+  // once, standalone, before the server sees anything.
+  struct Item {
+    std::string line;
+    std::string expected;
+  };
+  std::vector<Item> items;
+  std::map<int64_t, std::string> expected_by_id;
+  int64_t next_id = 1;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& [name, graph] :
+         std::vector<std::pair<std::string, const TemporalGraph*>>{
+             {"t", &transit}, {"r", &random}}) {
+      for (const std::string& line : MixedRequests(name)) {
+        QueryRequest req = MustParse(line);
+        req.id = next_id;
+        const std::string expected = Standalone(req, *graph);
+        std::string with_id = "{\"id\":" + std::to_string(next_id) + "," +
+                              line.substr(1);
+        expected_by_id[next_id] = expected;
+        items.push_back({std::move(with_id), expected});
+        ++next_id;
+      }
+    }
+  }
+  ASSERT_GE(items.size(), 64u);
+
+  std::mutex mu;
+  std::vector<std::string> responses;
+  auto respond = [&](std::string line) {
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(std::move(line));
+  };
+
+  // Fire from 8 submitter threads to interleave admissions.
+  std::vector<std::thread> submitters;
+  std::atomic<size_t> cursor{0};
+  for (int s = 0; s < 8; ++s) {
+    submitters.emplace_back([&] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1);
+        if (i >= items.size()) return;
+        server.HandleLine(items[i].line, respond);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  server.scheduler().Drain();
+
+  ASSERT_EQ(responses.size(), items.size());
+  for (const std::string& response : responses) {
+    auto doc = ParseJson(response);
+    ASSERT_TRUE(doc.ok()) << response;
+    ASSERT_TRUE(doc->GetBool("ok")) << response;
+    const int64_t id = doc->GetInt("id", -1);
+    ASSERT_TRUE(expected_by_id.count(id)) << response;
+    EXPECT_NE(response.find(expected_by_id[id]), std::string::npos)
+        << response;
+  }
+  // Repeats hit the cache: 80 accepted, 20 distinct results.
+  const ResultCacheStats cs = server.cache().stats();
+  EXPECT_GE(cs.hits, 1);
+  EXPECT_EQ(server.scheduler().stats().submitted,
+            static_cast<int64_t>(items.size()));
+}
+
+TEST(SchedulerTest, BoundedAdmissionRejectsWhenFull) {
+  GraphRegistry registry;
+  ResultCache cache(16);
+  QueryService service(&registry, &cache);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  SchedulerOptions options;
+  options.num_threads = 0;  // admission-only: nothing runs until we say so
+  options.max_queue = 2;
+  JobScheduler scheduler(&service, options);
+
+  const QueryRequest req = MustParse(
+      "{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"bfs\",\"source\":0}");
+  std::vector<std::string> responses;
+  auto respond = [&](std::string line) {
+    responses.push_back(std::move(line));
+  };
+  EXPECT_TRUE(scheduler.Submit(req, respond).ok());
+  EXPECT_TRUE(scheduler.Submit(req, respond).ok());
+  const Status third = scheduler.Submit(req, respond);
+  EXPECT_EQ(third.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(scheduler.stats().rejected, 1);
+
+  // Drain by hand; the duplicate second job becomes a cache hit.
+  EXPECT_TRUE(scheduler.RunOneForTest());
+  EXPECT_TRUE(scheduler.RunOneForTest());
+  EXPECT_FALSE(scheduler.RunOneForTest());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_NE(responses[0].find("\"cached\": false"), std::string::npos);
+  EXPECT_NE(responses[1].find("\"cached\": true"), std::string::npos);
+
+  // Control op through the scheduler is a usage error, not a crash.
+  EXPECT_EQ(scheduler
+                .Submit(MustParse("{\"op\":\"list\"}"),
+                        [](std::string) {})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, StopFailsQueuedJobs) {
+  GraphRegistry registry;
+  QueryService service(&registry, nullptr);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  SchedulerOptions options;
+  options.num_threads = 0;
+  JobScheduler scheduler(&service, options);
+  std::vector<std::string> responses;
+  const QueryRequest req = MustParse(
+      "{\"id\":9,\"op\":\"run\",\"graph\":\"t\",\"alg\":\"bfs\"}");
+  ASSERT_TRUE(scheduler
+                  .Submit(req,
+                          [&](std::string line) {
+                            responses.push_back(std::move(line));
+                          })
+                  .ok());
+  scheduler.Stop();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[0].find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(responses[0].find("shutting down"), std::string::npos);
+  // Post-stop submissions are refused.
+  EXPECT_FALSE(scheduler.Submit(req, [](std::string) {}).ok());
+}
+
+TEST(SchedulerTest, FastPathHitBypassesQueue) {
+  GraphRegistry registry;
+  ResultCache cache(16);
+  QueryService service(&registry, &cache);
+  registry.Add("t", testutil::MakeTransitGraph());
+
+  SchedulerOptions options;
+  options.num_threads = 0;  // queue never drains on its own...
+  JobScheduler scheduler(&service, options);
+  const QueryRequest req = MustParse(
+      "{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"bfs\",\"source\":0}");
+  std::string inline_response;
+  ASSERT_TRUE(scheduler.Submit(req, [](std::string) {}).ok());
+  ASSERT_TRUE(scheduler.RunOneForTest());  // warm the cache
+  // ...yet a warm submit answers inline, without a worker.
+  ASSERT_TRUE(scheduler
+                  .Submit(req,
+                          [&](std::string line) {
+                            inline_response = std::move(line);
+                          })
+                  .ok());
+  EXPECT_NE(inline_response.find("\"cached\": true"), std::string::npos);
+  EXPECT_EQ(scheduler.stats().fastpath_hits, 1);
+  EXPECT_EQ(scheduler.stats().queued, 0u);
+}
+
+TEST(ServerStreamTest, StdioProtocolEndToEnd) {
+  ServerOptions options;
+  options.scheduler.num_threads = 2;
+  Server server(options);
+  server.registry().Add("t", testutil::MakeTransitGraph());
+
+  std::istringstream in(
+      "{\"id\":1,\"op\":\"ping\"}\n"
+      "{\"id\":2,\"op\":\"list\"}\n"
+      "{\"id\":3,\"op\":\"run\",\"graph\":\"t\",\"alg\":\"bfs\","
+      "\"source\":0,\"metrics\":true}\n"
+      "{\"id\":4,\"op\":\"metrics\"}\n"
+      "not json\n");
+  std::ostringstream out;
+  const int64_t handled = server.ServeStream(in, out);
+  EXPECT_EQ(handled, 5);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"op\": \"ping\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"supersteps\""), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(text.find("\"hit_rate\""), std::string::npos);
+  EXPECT_NE(text.find("\"ok\": false"), std::string::npos);  // bad line
+}
+
+// Minimal line-oriented TCP client for the end-to-end test.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    GRAPHITE_CHECK(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    GRAPHITE_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0);
+  }
+  ~LineClient() { ::close(fd_); }
+
+  void Send(const std::string& line) {
+    const std::string out = line + "\n";
+    size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+      GRAPHITE_CHECK(n > 0 || errno == EINTR);
+      if (n > 0) off += static_cast<size_t>(n);
+    }
+  }
+
+  std::string ReadLine() {
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      GRAPHITE_CHECK(n > 0);
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(ServerTcpTest, ProtocolOverLoopback) {
+  ServerOptions options;
+  options.scheduler.num_threads = 2;
+  Server server(options);
+  server.registry().Add("t", testutil::MakeTransitGraph());
+  auto port = server.ListenTcp(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  std::thread serve([&] { server.ServeTcp(); });
+
+  {
+    LineClient client(*port);
+    client.Send("{\"id\":1,\"op\":\"ping\"}");
+    client.Send(
+        "{\"id\":2,\"op\":\"run\",\"graph\":\"t\",\"alg\":\"sssp\","
+        "\"source\":0}");
+    std::map<int64_t, std::string> by_id;
+    for (int i = 0; i < 2; ++i) {
+      const std::string line = client.ReadLine();
+      auto doc = ParseJson(line);
+      ASSERT_TRUE(doc.ok()) << line;
+      by_id[doc->GetInt("id", -1)] = line;
+    }
+    EXPECT_NE(by_id[1].find("\"op\": \"ping\""), std::string::npos);
+    const QueryRequest req = MustParse(
+        "{\"op\":\"run\",\"graph\":\"t\",\"alg\":\"sssp\",\"source\":0}");
+    const std::string expected =
+        Standalone(req, testutil::MakeTransitGraph());
+    EXPECT_NE(by_id[2].find(expected), std::string::npos) << by_id[2];
+
+    client.Send("{\"id\":3,\"op\":\"shutdown\"}");
+    EXPECT_NE(client.ReadLine().find("\"op\": \"shutdown\""),
+              std::string::npos);
+  }
+  serve.join();
+}
+
+}  // namespace
+}  // namespace graphite

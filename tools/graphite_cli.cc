@@ -6,8 +6,16 @@
 //   graphite run --alg wcc --platform msb --workers 8 graph.tg
 //   graphite slice --from 2 --to 8 graph.tg --out window.tg
 //   graphite bench --alg sssp graph.tg          (ICM vs all baselines)
+//   graphite query --port 7171 --op run --graph t --alg bfs --source 3
+//   graphite query --port 7171 --json '{"op":"list"}'
 //
 // Exit status: 0 on success, 1 on usage/user error.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -19,6 +27,7 @@
 #include "graph/graph_stats.h"
 #include "io/text_format.h"
 #include "query/temporal_query.h"
+#include "util/json.h"
 #include "util/stats.h"
 
 namespace {
@@ -57,7 +66,14 @@ int Usage() {
       "         A: bfs wcc scc pr sssp eat fast ld tmst rh lcc tc\n"
       "         P: icm msb chl tgb gof\n"
       "  bench  --alg A FILE [--workers N]       ICM vs every baseline\n"
-      "  slice  --from T --to T FILE --out FILE  temporal time-slice\n");
+      "  slice  --from T --to T FILE --out FILE  temporal time-slice\n"
+      "  query  --port N <request flags>         ask a running\n"
+      "         graphite_server (127.0.0.1) and pretty-print the reply\n"
+      "         --json '{...}'   send a raw request line instead of flags\n"
+      "         --op OP [--graph G] [--alg A] [--platform P] [--kind K]\n"
+      "         [--source V] [--target V] [--at T] [--deadline T]\n"
+      "         [--from T --to T] [--workers N] [--mode M] [--label L]\n"
+      "         [--dataset D] [--scale S] [--file F] [--id N]\n");
   return 1;
 }
 
@@ -227,6 +243,122 @@ int CmdSlice(const Args& args) {
   return 0;
 }
 
+// Builds one protocol request line from the command-line flags (or takes
+// --json verbatim).
+std::string BuildRequestLine(const Args& args) {
+  const std::string raw = args.Flag("json");
+  if (!raw.empty()) return raw;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Int(args.IntFlag("id", 1));
+  w.Key("op").String(args.Flag("op", "ping"));
+  auto str_flag = [&](const char* flag, const char* key) {
+    const std::string v = args.Flag(flag);
+    if (!v.empty()) w.Key(key).String(v);
+  };
+  auto int_flag = [&](const char* flag, const char* key) {
+    if (args.flags.count(flag) != 0) {
+      w.Key(key).Int(args.IntFlag(flag, 0));
+    }
+  };
+  str_flag("graph", "graph");
+  str_flag("alg", "alg");
+  str_flag("platform", "platform");
+  str_flag("kind", "kind");
+  str_flag("label", "label");
+  str_flag("mode", "mode");
+  str_flag("dataset", "dataset");
+  str_flag("file", "file");
+  int_flag("source", "source");
+  int_flag("target", "target");
+  int_flag("deadline", "deadline");
+  int_flag("at", "at");
+  int_flag("workers", "workers");
+  int_flag("max-vertices", "max_vertices");
+  if (args.flags.count("scale") != 0) {
+    w.Key("scale").Double(args.DoubleFlag("scale", 1.0));
+  }
+  if (args.flags.count("from") != 0 || args.flags.count("to") != 0) {
+    w.Key("window")
+        .BeginArray()
+        .Int(args.IntFlag("from", 0))
+        .Int(args.IntFlag("to", 0))
+        .EndArray();
+  }
+  if (args.Flag("cache") == "off") w.Key("cache").Bool(false);
+  if (args.Flag("metrics") == "on") w.Key("metrics").Bool(true);
+  w.EndObject();
+  return w.Take();
+}
+
+int CmdQuery(const Args& args) {
+  const int port = static_cast<int>(args.IntFlag("port", -1));
+  if (port < 0) {
+    std::fprintf(stderr, "error: query needs --port\n");
+    return Usage();
+  }
+  const std::string request = BuildRequestLine(args);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: connect 127.0.0.1:%d: %s\n", port,
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  std::string out = request + "\n";
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "error: write: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+    const size_t nl = response.find('\n');
+    if (nl != std::string::npos) {
+      response.resize(nl);
+      break;
+    }
+  }
+  ::close(fd);
+  if (response.empty()) {
+    std::fprintf(stderr, "error: no response from server\n");
+    return 1;
+  }
+
+  auto doc = ParseJson(response);
+  if (!doc.ok()) {
+    // Not JSON (shouldn't happen) — show it raw rather than nothing.
+    std::printf("%s\n", response.c_str());
+    return 1;
+  }
+  JsonWriter pretty(2);
+  doc->WriteTo(&pretty);
+  std::printf("%s\n", pretty.str().c_str());
+  return doc->GetBool("ok", false) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,5 +379,6 @@ int main(int argc, char** argv) {
   if (args.command == "run") return CmdRun(args);
   if (args.command == "bench") return CmdBench(args);
   if (args.command == "slice") return CmdSlice(args);
+  if (args.command == "query") return CmdQuery(args);
   return Usage();
 }
