@@ -16,6 +16,7 @@
 #include "algorithms/icm_ti.h"
 #include "bench_common.h"
 #include "util/json.h"
+#include "util/simd.h"
 
 namespace graphite {
 namespace {
@@ -79,9 +80,14 @@ int main(int argc, char** argv) {
   json.BeginObject();
   json.Key("hardware_concurrency").Int(threads);
   json.Key("num_workers").Int(workers);
+  // Which warp-kernel dispatch level the run used (boot default or the
+  // GRAPHITE_SIMD override) — timing baselines are only comparable at the
+  // same level, so the regression gate records and checks it.
+  json.Key("simd_dispatch").String(SimdLevelName(SimdDispatchLevel()));
   json.Key("note").String(
       "measured on a " + std::to_string(threads) +
-      "-core host; threaded modes need >1 core to beat sequential and "
+      "-core host with " + SimdLevelName(SimdDispatchLevel()) +
+      " warp dispatch; threaded modes need >1 core to beat sequential and "
       "speedup keys are emitted only when hardware_concurrency >= 4");
 
   // --- Part 1: Table-1 generators, PR (always-active, compute-heavy). ---

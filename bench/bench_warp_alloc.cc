@@ -18,8 +18,10 @@
 #define GRAPHITE_ALLOC_COUNTER_IMPL
 #include "alloc_counter.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "util/arena.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace graphite {
@@ -85,6 +88,32 @@ WarpWorkload BuildWarpWorkload(const TemporalGraph& g, uint64_t seed) {
   return wl;
 }
 
+// Dense inbox variant: every non-empty vertex's message list tiled up to
+// kMaxMsgsPerVertex (payloads re-randomized so the tiles are not byte
+// copies). The sparse catalog at bench scale leaves every vertex well
+// below warp_internal::kSimdMinWork, so the hybrid kernel demotes every
+// call to its scalar path; the dense variant is the regime the wide
+// kernels exist for — fat superstep inboxes on high-in-degree vertices —
+// and is what the forced-SIMD gate measures.
+WarpWorkload DensifyWorkload(const WarpWorkload& src, uint64_t seed) {
+  WarpWorkload wl;
+  wl.outer = src.outer;
+  wl.msgs.resize(src.msgs.size());
+  Rng rng(seed);
+  for (size_t v = 0; v < src.msgs.size(); ++v) {
+    const auto& box = src.msgs[v];
+    if (box.empty()) continue;
+    auto& out = wl.msgs[v];
+    out.reserve(kMaxMsgsPerVertex);
+    for (size_t i = 0; i < kMaxMsgsPerVertex; ++i) {
+      out.push_back({box[i % box.size()].interval,
+                     static_cast<int64_t>(rng.Uniform(1'000'000))});
+    }
+    wl.total_msgs += out.size();
+  }
+  return wl;
+}
+
 struct PathStats {
   double ns_per_superstep = 0;
   double allocs_per_superstep = 0;
@@ -93,7 +122,10 @@ struct PathStats {
 };
 
 constexpr int kWarmupSupersteps = 2;
-constexpr int kMeasuredSupersteps = 3;
+// Wide enough that one scheduler hiccup on a busy host does not dominate
+// the window — per-superstep work is tens of microseconds, so even 10
+// supersteps keep the warp section well under the e2e section's cost.
+constexpr int kMeasuredSupersteps = 10;
 
 // Legacy path: the shim API returning std::vector<WarpTuple> with one
 // inner-index vector per tuple — the pre-SoA hot path.
@@ -116,17 +148,24 @@ PathStats RunLegacy(const WarpWorkload& wl) {
   };
   for (int s = 0; s < kWarmupSupersteps; ++s) superstep();
   const uint64_t a0 = benchalloc::AllocCount();
-  const int64_t t0 = NowNanos();
+  // Per-superstep timing with a min-reduce: on a shared host the mean is
+  // dominated by scheduler preemptions; the fastest superstep is the
+  // reproducible throughput of the kernel itself. Allocs stay a mean —
+  // they are deterministic per superstep.
+  int64_t best_ns = std::numeric_limits<int64_t>::max();
   uint64_t tuples = 0;
-  for (int s = 0; s < kMeasuredSupersteps; ++s) tuples += superstep();
-  const int64_t elapsed = NowNanos() - t0;
+  for (int s = 0; s < kMeasuredSupersteps; ++s) {
+    const int64_t t0 = NowNanos();
+    tuples = superstep();
+    best_ns = std::min(best_ns, NowNanos() - t0);
+  }
   const uint64_t allocs = benchalloc::AllocCount() - a0;
-  st.ns_per_superstep = static_cast<double>(elapsed) / kMeasuredSupersteps;
+  st.ns_per_superstep = static_cast<double>(best_ns);
   st.allocs_per_superstep =
       static_cast<double>(allocs) / kMeasuredSupersteps;
-  st.tuples_per_superstep = tuples / kMeasuredSupersteps;
+  st.tuples_per_superstep = tuples;
   st.ns_per_tuple =
-      tuples == 0 ? 0 : static_cast<double>(elapsed) / tuples;
+      tuples == 0 ? 0 : static_cast<double>(best_ns) / tuples;
   if (sink == 42) std::fprintf(stderr, "!");  // keep the sink live
   return st;
 }
@@ -162,19 +201,95 @@ PathStats RunArena(const WarpWorkload& wl) {
   };
   for (int s = 0; s < kWarmupSupersteps; ++s) superstep();
   const uint64_t a0 = benchalloc::AllocCount();
-  const int64_t t0 = NowNanos();
+  // Min-reduce over per-superstep times — see RunLegacy.
+  int64_t best_ns = std::numeric_limits<int64_t>::max();
   uint64_t tuples = 0;
-  for (int s = 0; s < kMeasuredSupersteps; ++s) tuples += superstep();
-  const int64_t elapsed = NowNanos() - t0;
+  for (int s = 0; s < kMeasuredSupersteps; ++s) {
+    const int64_t t0 = NowNanos();
+    tuples = superstep();
+    best_ns = std::min(best_ns, NowNanos() - t0);
+  }
   const uint64_t allocs = benchalloc::AllocCount() - a0;
-  st.ns_per_superstep = static_cast<double>(elapsed) / kMeasuredSupersteps;
+  st.ns_per_superstep = static_cast<double>(best_ns);
   st.allocs_per_superstep =
       static_cast<double>(allocs) / kMeasuredSupersteps;
-  st.tuples_per_superstep = tuples / kMeasuredSupersteps;
+  st.tuples_per_superstep = tuples;
   st.ns_per_tuple =
-      tuples == 0 ? 0 : static_cast<double>(elapsed) / tuples;
+      tuples == 0 ? 0 : static_cast<double>(best_ns) / tuples;
   if (sink == 42) std::fprintf(stderr, "!");
   return st;
+}
+
+// Same arena path with the process dispatch pinned to `level` for the
+// duration of the run (restored afterwards) — the scalar-vs-SIMD
+// comparison keys and the forced-SIMD gate use this so the measurement
+// does not depend on the build's boot-time default.
+PathStats RunArenaAt(const WarpWorkload& wl, SimdLevel level) {
+  const SimdLevel saved = SimdDispatchLevel();
+  SimdSetDispatch(level);
+  const PathStats st = RunArena(wl);
+  SimdSetDispatch(saved);
+  return st;
+}
+
+// --- micro_sort: the partitioned endpoint sort in isolation -------------
+// Shaped single-vertex workloads that hit each branch of
+// warp_internal::SortClippedEndpoints: `spanning` (every message covers
+// the entry interval, so every clipped endpoint lands in a pinned
+// bucket), `staircase` (disjoint unit intervals in arrival order — the
+// interior is already sorted and the detection pass proves it), and
+// `shuffled` (random intervals — detection fails and the std::sort
+// fallback runs). WarpStats' timed sort counters give ns/endpoint and
+// the detection hit rate per shape.
+struct MicroSortStats {
+  double ns_per_endpoint = 0;
+  double presorted_hit_rate = 0;
+  double pinned_endpoint_share = 0;
+  uint64_t endpoints_per_call = 0;
+};
+
+constexpr size_t kMicroMsgs = 4096;
+constexpr int kMicroIters = 64;
+
+MicroSortStats RunMicroSort(const std::vector<Item>& msgs,
+                            TimePoint horizon) {
+  const std::vector<Entry> outer = {{Interval(0, horizon), int64_t{1}}};
+  Arena arena;
+  WarpScratch scratch;
+  scratch.Attach(&arena);
+  WarpOutput out;
+  out.Attach(&arena);
+  WarpStats st;
+  st.timed = true;
+  for (int i = 0; i < kMicroIters; ++i) {
+    TimeWarpInto<int64_t, int64_t>(outer, msgs, &scratch, &out, &st);
+  }
+  MicroSortStats ms;
+  if (st.sort_endpoints > 0) {
+    ms.ns_per_endpoint = static_cast<double>(st.sort_ns) /
+                         static_cast<double>(st.sort_endpoints);
+    ms.pinned_endpoint_share = static_cast<double>(st.sort_pinned) /
+                               static_cast<double>(st.sort_endpoints);
+    ms.endpoints_per_call =
+        st.sort_endpoints / static_cast<uint64_t>(kMicroIters);
+  }
+  if (st.sort_calls > 0) {
+    ms.presorted_hit_rate = static_cast<double>(st.sort_presorted) /
+                            static_cast<double>(st.sort_calls);
+  }
+  scratch.Release();
+  out.Release();
+  return ms;
+}
+
+void WriteMicroSortShape(JsonWriter* json, const char* name,
+                         const MicroSortStats& ms) {
+  json->Key(name).BeginObject();
+  json->Key("sort_ns_per_endpoint").Fixed(ms.ns_per_endpoint, 2);
+  json->Key("presorted_hit_rate").Fixed(ms.presorted_hit_rate, 3);
+  json->Key("pinned_endpoint_share").Fixed(ms.pinned_endpoint_share, 3);
+  json->Key("endpoints_per_call").UInt(ms.endpoints_per_call);
+  json->EndObject();
 }
 
 struct EngineStats {
@@ -240,11 +355,20 @@ int main(int argc, char** argv) {
   // timing keys were measured on a comparable host (core-count
   // mismatches downgrade timing gates to warnings).
   json.Key("hardware_concurrency").UInt(std::thread::hardware_concurrency());
+  // The dispatch level the soa path ran at (boot default or GRAPHITE_SIMD
+  // override) and the best level this host supports. The gate downgrades
+  // timing comparisons when baselines disagree on simd_dispatch.
+  const SimdLevel dispatch = SimdDispatchLevel();
+  const SimdLevel best = SimdMaxSupported();
+  json.Key("simd_dispatch").String(SimdLevelName(dispatch));
+  json.Key("simd_lanes").UInt(static_cast<uint64_t>(SimdLanes(dispatch)));
+  json.Key("simd_best").String(SimdLevelName(best));
   json.Key("datasets").BeginArray();
 
   double sum_legacy_allocs = 0, sum_soa_allocs = 0;
   double sum_legacy_ns = 0, sum_soa_ns = 0;
-  uint64_t sum_tuples = 0;
+  double sum_dense_scalar_ns = 0, sum_dense_simd_ns = 0;
+  uint64_t sum_tuples = 0, sum_dense_tuples = 0;
   double e2e_ms = 0, e2e_allocs = 0;
   int64_t e2e_supersteps = 0;
   double loop_ms = 0, loop_allocs = 0;
@@ -256,11 +380,21 @@ int main(int argc, char** argv) {
     const WarpWorkload wl = BuildWarpWorkload(ds.workload.graph(), 7 + d);
     const PathStats legacy = RunLegacy(wl);
     const PathStats soa = RunArena(wl);
+    // Forced-level runs on the dense variant: the SIMD gate must measure
+    // the wide kernels, and the catalog workload never reaches
+    // kSimdMinWork at bench scale. The scalar companion run on the same
+    // dense workload makes the pair an honest in-workload comparison.
+    const WarpWorkload dense = DensifyWorkload(wl, 99 + d);
+    const PathStats dense_scalar = RunArenaAt(dense, SimdLevel::kScalar);
+    const PathStats dense_simd = RunArenaAt(dense, best);
     sum_legacy_allocs += legacy.allocs_per_superstep;
     sum_soa_allocs += soa.allocs_per_superstep;
     sum_legacy_ns += legacy.ns_per_superstep;
     sum_soa_ns += soa.ns_per_superstep;
+    sum_dense_scalar_ns += dense_scalar.ns_per_superstep;
+    sum_dense_simd_ns += dense_simd.ns_per_superstep;
     sum_tuples += soa.tuples_per_superstep;
+    sum_dense_tuples += dense_simd.tuples_per_superstep;
 
     // End-to-end: one TI and one TD algorithm across the catalog.
     const Algorithm algo =
@@ -285,7 +419,11 @@ int main(int argc, char** argv) {
     json.Key("soa_allocs_per_superstep").Fixed(soa.allocs_per_superstep, 1);
     json.Key("legacy_ns_per_tuple").Fixed(legacy.ns_per_tuple, 1);
     json.Key("soa_ns_per_tuple").Fixed(soa.ns_per_tuple, 1);
+    json.Key("dense_scalar_ns_per_tuple").Fixed(dense_scalar.ns_per_tuple, 1);
+    json.Key("dense_simd_ns_per_tuple").Fixed(dense_simd.ns_per_tuple, 1);
     json.Key("tuples_per_superstep").UInt(soa.tuples_per_superstep);
+    json.Key("dense_tuples_per_superstep")
+        .UInt(dense_simd.tuples_per_superstep);
     json.Key(std::string("icm_") + AlgorithmName(algo) + "_wall_ms")
         .Fixed(eng.wall_ms, 1);
     json.Key("icm_allocs_per_superstep").Fixed(eng.allocs_per_superstep, 1);
@@ -293,6 +431,37 @@ int main(int argc, char** argv) {
     ds.workload.DropDerived();
   }
   json.EndArray();
+
+  // Partitioned-endpoint-sort microbench (DESIGN.md §4j): runs only on
+  // the vectorized path, so pin dispatch to the best supported level for
+  // the section (restored after).
+  {
+    const SimdLevel saved = SimdDispatchLevel();
+    SimdSetDispatch(best);
+    std::fprintf(stderr, "[sort] micro_sort shapes ...\n");
+    Rng rng(1234);
+    const TimePoint horizon = static_cast<TimePoint>(2 * kMicroMsgs);
+    std::vector<Item> spanning, staircase, shuffled;
+    for (size_t i = 0; i < kMicroMsgs; ++i) {
+      const auto payload = static_cast<int64_t>(i);
+      spanning.push_back({Interval(0, horizon), payload});
+      staircase.push_back({Interval(static_cast<TimePoint>(2 * i),
+                                    static_cast<TimePoint>(2 * i + 1)),
+                           payload});
+      const TimePoint a = rng.UniformRange(1, horizon - 2);
+      shuffled.push_back({Interval(a, rng.UniformRange(a + 1, horizon)),
+                          payload});
+    }
+    json.Key("micro_sort").BeginObject();
+    json.Key("simd_dispatch").String(SimdLevelName(best));
+    json.Key("messages").UInt(kMicroMsgs);
+    WriteMicroSortShape(&json, "spanning", RunMicroSort(spanning, horizon));
+    WriteMicroSortShape(&json, "staircase",
+                        RunMicroSort(staircase, horizon));
+    WriteMicroSortShape(&json, "shuffled", RunMicroSort(shuffled, horizon));
+    json.EndObject();
+    SimdSetDispatch(saved);
+  }
 
   // Aggregates. The alloc ratio is the headline: >=2x fewer heap
   // allocations per superstep is the acceptance floor; the SoA path is
@@ -303,12 +472,28 @@ int main(int argc, char** argv) {
       sum_tuples == 0 ? 0 : sum_legacy_ns / static_cast<double>(sum_tuples);
   const double soa_ns_per_tuple =
       sum_tuples == 0 ? 0 : sum_soa_ns / static_cast<double>(sum_tuples);
+  const double dense_scalar_ns_per_tuple =
+      sum_dense_tuples == 0
+          ? 0
+          : sum_dense_scalar_ns / static_cast<double>(sum_dense_tuples);
+  const double simd_ns_per_tuple =
+      sum_dense_tuples == 0
+          ? 0
+          : sum_dense_simd_ns / static_cast<double>(sum_dense_tuples);
 
   json.Key("gated").BeginObject();
   GateEntry(&json, "warp_alloc_ratio", alloc_ratio, "higher", false);
   GateEntry(&json, "warp_soa_allocs_per_superstep", sum_soa_allocs, "lower",
             false);
   GateEntry(&json, "warp_soa_ns_per_tuple", soa_ns_per_tuple, "lower", true);
+  // Dense-workload pair: dispatch pinned to the best supported SIMD level
+  // vs pinned scalar on the same dense inboxes. This is the vectorized
+  // kernel's headline — the sparse catalog workload never reaches
+  // kSimdMinWork, so only the dense variant exercises the wide path.
+  GateEntry(&json, "warp_simd_ns_per_tuple", simd_ns_per_tuple, "lower",
+            true);
+  GateEntry(&json, "warp_dense_scalar_ns_per_tuple",
+            dense_scalar_ns_per_tuple, "lower", true);
   GateEntry(&json, "warp_legacy_ns_per_tuple", legacy_ns_per_tuple, "lower",
             true);
   GateEntry(&json, "icm_e2e_allocs_per_superstep",

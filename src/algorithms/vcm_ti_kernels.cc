@@ -11,15 +11,15 @@ std::vector<int64_t> RunVcmSccSnapshot(const TemporalGraph& g,
   SnapshotAdapter bwd_adapter{SnapshotView(&reversed, t)};
   std::vector<int64_t> assigned(n, -1);
 
-  auto remaining = [&]() {
-    size_t count = 0;
-    for (VertexIdx v = 0; v < n; ++v) {
-      if (fwd_adapter.UnitExists(v) && assigned[v] < 0) ++count;
-    }
-    return count;
-  };
+  // Unassigned snapshot-live vertices, maintained incrementally: each
+  // peeling round already walks every vertex to fold in its labels, so a
+  // separate full rescan per round only repeats that work.
+  size_t remaining = 0;
+  for (VertexIdx v = 0; v < n; ++v) {
+    if (fwd_adapter.UnitExists(v)) ++remaining;
+  }
 
-  while (remaining() > 0) {
+  while (remaining > 0) {
     VcmSccForward fwd(fwd_adapter, assigned);
     std::vector<int64_t> colors;
     metrics->Merge(RunVcm(fwd_adapter, fwd, options, &colors));
@@ -36,6 +36,7 @@ std::vector<int64_t> RunVcmSccSnapshot(const TemporalGraph& g,
       }
     }
     GRAPHITE_CHECK(newly > 0);
+    remaining -= newly;
   }
   for (VertexIdx v = 0; v < n; ++v) {
     if (!fwd_adapter.UnitExists(v)) assigned[v] = kInfCost;

@@ -192,11 +192,16 @@ BaselineOutcome<typename Program::Value> RunChlonos(
                 const uint32_t hi = static_cast<uint32_t>(
                     chunk.end < mine.size() ? unit(k, mine[chunk.end])
                                             : unit(k + 1, 0));
-                for (const uint32_t idx :
-                     plane.FrontierSlice(chunk.worker, lo, hi)) {
+                const std::span<const uint32_t> fs =
+                    plane.FrontierSlice(chunk.worker, lo, hi);
+                for (size_t i = 0; i < fs.size(); ++i) {
+                  const uint32_t idx = fs[i];
                   const VertexIdx v =
                       static_cast<VertexIdx>(idx - unit(k, 0));
                   if (!adapters[k].UnitExists(v)) continue;
+                  if (i + 1 < fs.size()) {
+                    plane.Prefetch(chunk.worker, fs[i + 1]);
+                  }
                   process(v, idx);
                 }
               }

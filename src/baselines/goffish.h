@@ -181,9 +181,14 @@ BaselineOutcome<typename Program::Value> RunGoffish(
               const uint32_t hi = chunk.end < mine.size()
                                       ? mine[chunk.end]
                                       : std::numeric_limits<uint32_t>::max();
-              for (const uint32_t v :
-                   plane.FrontierSlice(chunk.worker, lo, hi)) {
+              const std::span<const uint32_t> fs =
+                  plane.FrontierSlice(chunk.worker, lo, hi);
+              for (size_t i = 0; i < fs.size(); ++i) {
+                const uint32_t v = fs[i];
                 if (!view.VertexActive(v)) continue;
+                if (i + 1 < fs.size()) {
+                  plane.Prefetch(chunk.worker, fs[i + 1]);
+                }
                 process(v);
               }
             }

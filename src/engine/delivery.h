@@ -166,6 +166,13 @@ class DeliveryPlane {
   size_t InboxCountFor(int worker, uint32_t unit) const {
     return inbox_[worker].CountFor(unit);
   }
+  /// Software-prefetches the unit's sealed inbox span (table entry +
+  /// leading item cache lines). The engines call this for frontier entry
+  /// i+1 while computing entry i, hiding the next unit's message-fetch
+  /// latency behind the current warp. No effect on results.
+  void Prefetch(int worker, uint32_t unit) const {
+    inbox_[worker].Prefetch(unit);
+  }
 
   /// Stages one item into `dst`'s inbox and tracks first arrival. Must be
   /// called from dst's delivery lane (or single-threaded setup code).

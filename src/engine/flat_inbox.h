@@ -26,9 +26,15 @@
 #include <vector>
 
 #include "util/arena.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace graphite {
+
+/// Cap on bytes software-prefetched per inbox span: enough to cover the
+/// leading messages the warp kernel touches first without evicting the
+/// current unit's working set on long spans.
+inline constexpr size_t kInboxPrefetchBytes = 256;
 
 /// Per-unit (offset, count) spans into the owning worker's grouped item
 /// buffer, plus the scatter cursor used by Seal. One table per engine run;
@@ -122,6 +128,22 @@ class FlatInbox {
   }
 
   size_t CountFor(uint32_t unit) const { return table_->count[unit]; }
+
+  /// Software-prefetches the unit's sealed message span — the span-table
+  /// read plus the leading cache lines of the grouped items — so a
+  /// frontier walk can overlap the NEXT unit's inbox fetch with the
+  /// current unit's compute. Read-only and safe for units without mail;
+  /// a no-op where the compiler lacks the prefetch builtin.
+  void Prefetch(uint32_t unit) const {
+    const uint32_t count = table_->count[unit];
+    if (count == 0) return;
+    const char* base =
+        reinterpret_cast<const char*>(items_.data() + table_->offset[unit]);
+    const size_t bytes =
+        std::min(static_cast<size_t>(count) * sizeof(Item),
+                 kInboxPrefetchBytes);
+    for (size_t off = 0; off < bytes; off += 64) GRAPHITE_PREFETCH(base + off);
+  }
 
   /// Superstep barrier: zero the consumed spans and forget the buffers.
   /// The caller resets the backing arena right after — pointers into it

@@ -374,24 +374,34 @@ class IcmEngine {
             if (every_vertex || plane.FrontierIsDense(chunk.worker)) {
               // Dense activation scan: all owned vertices (superstep 0 /
               // always-active) or a mail-flag sweep when the frontier
-              // exceeded the density threshold.
+              // exceeded the density threshold. The next owned vertex's
+              // inbox span is prefetched behind the current warp.
               for (size_t i = chunk.begin; i < chunk.end; ++i) {
                 const VertexIdx v = mine[i];
                 if (!every_vertex && !plane.HasMail(v)) continue;
+                if (i + 1 < chunk.end) {
+                  plane.Prefetch(chunk.worker, mine[i + 1]);
+                }
                 process(v);
               }
             } else {
               // Frontier path: the plane's sorted mailed-vertex list
               // sliced to this chunk's unit range — exactly the vertices
-              // the dense scan would find active, in the same order.
+              // the dense scan would find active, in the same order, with
+              // the next frontier unit's inbox span prefetched behind the
+              // current warp.
               const uint32_t lo = mine[chunk.begin];
               const uint32_t hi =
                   chunk.end < mine.size()
                       ? mine[chunk.end]
                       : std::numeric_limits<uint32_t>::max();
-              for (const uint32_t v :
-                   plane.FrontierSlice(chunk.worker, lo, hi)) {
-                process(v);
+              const std::span<const uint32_t> fs =
+                  plane.FrontierSlice(chunk.worker, lo, hi);
+              for (size_t i = 0; i < fs.size(); ++i) {
+                if (i + 1 < fs.size()) {
+                  plane.Prefetch(chunk.worker, fs[i + 1]);
+                }
+                process(fs[i]);
               }
             }
             chunk_ns[c] = NowNanos() - t0;

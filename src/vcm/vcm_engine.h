@@ -278,19 +278,24 @@ RunMetrics RunVcm(
             for (size_t i = chunk.begin; i < chunk.end; ++i) {
               const uint32_t u = mine[i];
               if (!every_unit && !plane.HasMail(u)) continue;
+              if (i + 1 < chunk.end) plane.Prefetch(chunk.worker, mine[i + 1]);
               process(u);
             }
           } else {
             // Frontier path: the sorted mailed-unit list sliced to this
             // chunk's unit range — the dense scan's activation set in the
-            // dense scan's order, without the per-unit flag sweep.
+            // dense scan's order, without the per-unit flag sweep. The
+            // next unit's inbox span is prefetched behind the current
+            // compute call.
             const uint32_t lo = mine[chunk.begin];
             const uint32_t hi = chunk.end < mine.size()
                                     ? mine[chunk.end]
                                     : std::numeric_limits<uint32_t>::max();
-            for (const uint32_t u :
-                 plane.FrontierSlice(chunk.worker, lo, hi)) {
-              process(u);
+            const std::span<const uint32_t> fs =
+                plane.FrontierSlice(chunk.worker, lo, hi);
+            for (size_t i = 0; i < fs.size(); ++i) {
+              if (i + 1 < fs.size()) plane.Prefetch(chunk.worker, fs[i + 1]);
+              process(fs[i]);
             }
           }
           chunk_ns[c] = NowNanos() - t0;

@@ -10,6 +10,12 @@ self-describing:
       ...
     }
 
+The gated block is a schema, not a suggestion: every entry must carry a
+numeric "value", a "better" direction of "higher" or "lower", and a
+boolean "timing" flag. A malformed or renamed entry in either report is a
+format error (exit 2), not a silent skip — a baseline whose keys drifted
+from the bench binary would otherwise gate nothing.
+
 Non-timing metrics (allocation counts, ratios of counts) are deterministic
 per build and enforced unconditionally. Timing metrics are noisy on shared
 machines, so they are warnings by default and enforced only with --strict
@@ -17,9 +23,15 @@ or GRAPHITE_PERF_STRICT=1. When the two reports record different
 `hardware_concurrency` values, timing gates are additionally downgraded to
 warnings even under --strict — a baseline taken on a different core count
 says nothing about timing on this host — while allocation/count gates stay
-enforced (they are core-count independent).
+enforced (they are core-count independent). The same downgrade applies
+when the reports record different `simd_dispatch` levels: scalar-vs-AVX2
+timings are not comparable, but allocation counts are dispatch-invariant.
+
+Keys present only in the fresh run (a newly added gate whose baseline has
+not been regenerated yet) are reported as notes, never failures.
 
 Usage: check_bench_regression.py <committed.json> <fresh.json> [--strict]
+       check_bench_regression.py --list-gates <report.json> [...]
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/format error.
 """
 
@@ -41,28 +53,68 @@ def load_report(path):
     if not isinstance(gated, dict):
         print(f"error: {path} has no 'gated' object", file=sys.stderr)
         sys.exit(2)
+    for key, entry in gated.items():
+        problem = validate_entry(entry)
+        if problem:
+            print(
+                f"error: {path}: gated entry {key!r} {problem}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
     return report
+
+
+def validate_entry(entry):
+    """Returns a problem description for a malformed gated entry, else None."""
+    if not isinstance(entry, dict):
+        return f"is {type(entry).__name__}, expected an object"
+    value = entry.get("value")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return f"has non-numeric 'value' {value!r}"
+    better = entry.get("better")
+    if better not in ("higher", "lower"):
+        return f"has invalid 'better' {better!r} (want 'higher'|'lower')"
+    if not isinstance(entry.get("timing"), bool):
+        return f"has non-boolean 'timing' {entry.get('timing')!r}"
+    return None
+
+
+def list_gates(paths):
+    """--list-gates mode: print every gate key a report defines and exit."""
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in paths:
+        report = load_report(path)
+        print(f"{path}:")
+        for key, entry in sorted(report["gated"].items()):
+            kind = "timing" if entry["timing"] else "count "
+            print(
+                f"  {kind}  better={entry['better']:<6}  "
+                f"{key} = {float(entry['value']):.3f}"
+            )
+    return 0
 
 
 def regressed(better, baseline, fresh):
     """True when `fresh` is more than TOLERANCE worse than `baseline`."""
     if better == "higher":
         return fresh < baseline * (1.0 - TOLERANCE)
-    if better == "lower":
-        # A zero baseline (e.g. zero allocations in steady state) allows
-        # only the absolute slack the tolerance would give a baseline of 1.
-        return fresh > baseline * (1.0 + TOLERANCE) + (
-            TOLERANCE if baseline == 0 else 0.0
-        )
-    print(f"error: unknown 'better' direction {better!r}", file=sys.stderr)
-    sys.exit(2)
+    # better == "lower" (validated at load time).
+    # A zero baseline (e.g. zero allocations in steady state) allows
+    # only the absolute slack the tolerance would give a baseline of 1.
+    return fresh > baseline * (1.0 + TOLERANCE) + (
+        TOLERANCE if baseline == 0 else 0.0
+    )
 
 
 def main(argv):
     strict = "--strict" in argv or os.environ.get(
         "GRAPHITE_PERF_STRICT", "0"
     ) not in ("", "0")
-    paths = [a for a in argv if a != "--strict"]
+    paths = [a for a in argv if not a.startswith("--")]
+    if "--list-gates" in argv:
+        return list_gates(paths)
     if len(paths) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -80,6 +132,15 @@ def main(argv):
             f"fresh={fresh_cores}; timing gates are warnings only "
             "(alloc/count gates still enforced)"
         )
+    base_simd = committed_report.get("simd_dispatch")
+    fresh_simd = fresh_report.get("simd_dispatch")
+    simd_match = base_simd == fresh_simd
+    if not simd_match:
+        print(
+            f"note: simd_dispatch baseline={base_simd} vs "
+            f"fresh={fresh_simd}; timing gates are warnings only "
+            "(alloc/count gates are dispatch-invariant, still enforced)"
+        )
 
     failures = []
     for key, base in committed.items():
@@ -89,12 +150,13 @@ def main(argv):
         entry = fresh[key]
         base_v = float(base["value"])
         fresh_v = float(entry["value"])
-        timing = bool(base.get("timing", False))
-        direction = base.get("better", "lower")
+        timing = base["timing"]
+        direction = base["better"]
         bad = regressed(direction, base_v, fresh_v)
-        # Timing gates require both --strict and a matching core count;
-        # non-timing gates (allocs, counts, call ratios) always enforce.
-        enforce = not timing or (strict and cores_match)
+        # Timing gates require --strict plus a comparable host (same core
+        # count and SIMD dispatch); non-timing gates (allocs, counts, call
+        # ratios) always enforce.
+        enforce = not timing or (strict and cores_match and simd_match)
         verdict = "OK"
         if bad:
             verdict = "REGRESSION" if enforce else "warn"
@@ -107,6 +169,12 @@ def main(argv):
             failures.append(
                 f"{key}: {fresh_v:.3f} vs baseline {base_v:.3f} "
                 f"(better: {direction}, tolerance {TOLERANCE:.0%})"
+            )
+    for key in fresh:
+        if key not in committed:
+            print(
+                f"      note  {key}: new in fresh run (no baseline yet); "
+                "regenerate the committed report to gate it"
             )
 
     if failures:
