@@ -99,8 +99,8 @@ class WorkerMap {
     return units_by_worker_[w];
   }
   /// Owned-unit counts, in the shape SuperstepRuntime's ctor wants.
-  std::vector<size_t> worker_sizes() const {
-    std::vector<size_t> sizes(num_workers_);
+  std::vector<size_t> worker_sizes() const {  // lint:allow(vector: per-run setup shape handed to SuperstepRuntime)
+    std::vector<size_t> sizes(num_workers_);  // lint:allow(vector: per-run setup shape handed to SuperstepRuntime)
     for (int w = 0; w < num_workers_; ++w) {
       sizes[w] = units_by_worker_[w].size();
     }
@@ -109,8 +109,8 @@ class WorkerMap {
 
  private:
   int num_workers_;
-  std::vector<int> worker_of_;
-  std::vector<std::vector<uint32_t>> units_by_worker_;
+  std::vector<int> worker_of_;  // lint:allow(vector: placement table, built once per run)
+  std::vector<std::vector<uint32_t>> units_by_worker_;  // lint:allow(vector: placement table, built once per run)
 };
 
 /// The per-run delivery state for one engine: per-destination-worker
@@ -306,14 +306,14 @@ class DeliveryPlane {
   WorkerMap map_;
   SuperstepRuntime* rt_ = nullptr;
   double frontier_density_ = 0.5;
-  std::vector<uint8_t> has_mail_;
-  std::vector<std::vector<uint32_t>> mailed_;
+  std::vector<uint8_t> has_mail_;  // lint:allow(vector: sized once per run, flags overwritten in place)
+  std::vector<std::vector<uint32_t>> mailed_;  // lint:allow(vector: outer sized per run; rows reuse decayed capacity)
   InboxSpanTable spans_{0};
-  std::vector<FlatInbox<Item>> inbox_;
+  std::vector<FlatInbox<Item>> inbox_;  // lint:allow(vector: one inbox per worker, sized once per run)
   // Per-destination byte/activity accumulators, written only by each
   // destination's lane during Route, summed after the barrier.
-  std::vector<int64_t> col_bytes_;
-  std::vector<uint8_t> col_any_;
+  std::vector<int64_t> col_bytes_;  // lint:allow(vector: sized once per run, summed at barriers)
+  std::vector<uint8_t> col_any_;  // lint:allow(vector: sized once per run, summed at barriers)
 };
 
 }  // namespace graphite

@@ -43,9 +43,9 @@ struct InboxSpanTable {
   explicit InboxSpanTable(size_t num_units)
       : offset(num_units, 0), count(num_units, 0), cursor(num_units, 0) {}
 
-  std::vector<uint32_t> offset;
-  std::vector<uint32_t> count;
-  std::vector<uint32_t> cursor;
+  std::vector<uint32_t> offset;  // lint:allow(vector: span table, sized once per engine run)
+  std::vector<uint32_t> count;  // lint:allow(vector: span table, sized once per engine run)
+  std::vector<uint32_t> cursor;  // lint:allow(vector: span table, sized once per engine run)
 };
 
 /// One destination worker's flat inbox. Item storage is arena-backed when

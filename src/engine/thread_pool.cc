@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -27,15 +27,15 @@ void ThreadPool::RunOnAll(const std::function<void(int)>& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &job;
     ++generation_;
     pending_ = static_cast<int>(workers_.size());
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   job(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) done_cv_.Wait(mu_);
   job_ = nullptr;
 }
 
@@ -44,16 +44,16 @@ void ThreadPool::WorkerLoop(int thread_id) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) work_cv_.Wait(mu_);
       if (stop_) return;
       seen = generation_;
       job = job_;
     }
     (*job)(thread_id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_one();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) done_cv_.NotifyOne();
     }
   }
 }

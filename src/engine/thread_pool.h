@@ -8,15 +8,20 @@
 // returns when all copies have finished. Phase executors (work-stealing
 // compute, parallel message delivery) are built on top by having the job
 // drain shared atomic cursors — see SuperstepRuntime in engine/parallel.h.
+//
+// Lock discipline is compiler-checked: every cross-thread member is
+// GRAPHITE_GUARDED_BY(mu_) and Clang's -Wthread-safety verifies that all
+// accesses hold the lock (util/thread_annotations.h).
 #ifndef GRAPHITE_ENGINE_THREAD_POOL_H_
 #define GRAPHITE_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace graphite {
 
@@ -42,14 +47,14 @@ class ThreadPool {
  private:
   void WorkerLoop(int thread_id);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
-  uint64_t generation_ = 0;                        // guarded by mu_
-  int pending_ = 0;                                // guarded by mu_
-  bool stop_ = false;                              // guarded by mu_
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* job_ GRAPHITE_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int pending_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  bool stop_ GRAPHITE_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // Written in ctor only; const after.
 };
 
 }  // namespace graphite

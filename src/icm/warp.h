@@ -111,7 +111,7 @@ struct TimeJoinTuple {
 struct WarpTuple {
   Interval interval;
   uint32_t outer_index = 0;
-  std::vector<uint32_t> inner_indices;
+  std::vector<uint32_t> inner_indices;  // lint:allow(vector: legacy allocating shim, kept for API compat)
 };
 
 /// An (offset, count) span into WarpOutput's shared inner-index pool.
@@ -154,10 +154,10 @@ struct WarpStats {
 /// Time-join: all pairwise intersections, ordered by (outer, inner) index.
 /// The outer set must be temporally partitioned (disjoint intervals).
 template <typename S, typename M>
-std::vector<TimeJoinTuple<S, M>> TimeJoin(
+std::vector<TimeJoinTuple<S, M>> TimeJoin(  // lint:allow(vector: naive O(n^2) reference, tests only)
     std::span<const typename IntervalMap<S>::Entry> outer,
     std::span<const TemporalItem<M>> inner) {
-  std::vector<TimeJoinTuple<S, M>> out;
+  std::vector<TimeJoinTuple<S, M>> out;  // lint:allow(vector: naive O(n^2) reference, tests only)
   for (uint32_t i = 0; i < outer.size(); ++i) {
     for (uint32_t j = 0; j < inner.size(); ++j) {
       const Interval isect = outer[i].interval.Intersect(inner[j].interval);
@@ -791,7 +791,7 @@ void TimeWarpInto(std::span<const typename IntervalMap<S>::Entry> outer,
 /// over TimeWarpInto for tests, callers outside the superstep hot path,
 /// and as the measured baseline of bench/bench_warp_alloc.
 template <typename S, typename M>
-std::vector<WarpTuple> TimeWarp(
+std::vector<WarpTuple> TimeWarp(  // lint:allow(vector: legacy allocating shim over TimeWarpInto)
     std::span<const typename IntervalMap<S>::Entry> outer,
     std::span<const TemporalItem<M>> inner) {
   Arena arena;
@@ -801,12 +801,12 @@ std::vector<WarpTuple> TimeWarp(
   flat.Attach(&arena);
   TimeWarpInto<S, M>(outer, inner, &scratch, &flat);
 
-  std::vector<WarpTuple> out;
+  std::vector<WarpTuple> out;  // lint:allow(vector: legacy allocating shim over TimeWarpInto)
   out.reserve(flat.size());
   for (size_t i = 0; i < flat.size(); ++i) {
     const std::span<const uint32_t> group = flat.group(i);
     out.push_back({flat[i].interval, flat[i].outer_index,
-                   std::vector<uint32_t>(group.begin(), group.end())});
+                   std::vector<uint32_t>(group.begin(), group.end())});  // lint:allow(vector: legacy allocating shim over TimeWarpInto)
   }
   return out;
 }
@@ -912,7 +912,7 @@ void TimeWarpCombineInto(
 
 /// Legacy allocating combine-warp shim (tests and non-hot-path callers).
 template <typename S, typename M, typename Combine>
-std::vector<CombinedWarpTuple<M>> TimeWarpCombine(
+std::vector<CombinedWarpTuple<M>> TimeWarpCombine(  // lint:allow(vector: legacy allocating shim over TimeWarpCombineInto)
     std::span<const typename IntervalMap<S>::Entry> outer,
     std::span<const TemporalItem<M>> inner, Combine&& combine) {
   Arena arena;
@@ -923,7 +923,7 @@ std::vector<CombinedWarpTuple<M>> TimeWarpCombine(
   TimeWarpCombineInto<S, M>(outer, inner,
                             std::forward<Combine>(combine), &scratch,
                             &flat);
-  std::vector<CombinedWarpTuple<M>> out;
+  std::vector<CombinedWarpTuple<M>> out;  // lint:allow(vector: legacy allocating shim over TimeWarpCombineInto)
   out.reserve(flat.size());
   for (size_t i = 0; i < flat.size(); ++i) out.push_back(flat[i]);
   return out;

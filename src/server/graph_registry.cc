@@ -3,7 +3,7 @@
 namespace graphite {
 
 uint64_t GraphRegistry::Add(const std::string& name, TemporalGraph g) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t epoch = ++epochs_[name];
   graphs_[name] =
       std::make_shared<ResidentGraph>(name, epoch, std::move(g));
@@ -12,18 +12,18 @@ uint64_t GraphRegistry::Add(const std::string& name, TemporalGraph g) {
 
 std::shared_ptr<ResidentGraph> GraphRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = graphs_.find(name);
   return it == graphs_.end() ? nullptr : it->second;
 }
 
 bool GraphRegistry::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return graphs_.erase(name) > 0;
 }
 
 std::vector<ResidentGraphInfo> GraphRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ResidentGraphInfo> out;
   out.reserve(graphs_.size());
   for (const auto& [name, entry] : graphs_) {
@@ -35,7 +35,7 @@ std::vector<ResidentGraphInfo> GraphRegistry::List() const {
 }
 
 size_t GraphRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return graphs_.size();
 }
 

@@ -18,11 +18,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "algorithms/runners.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace graphite {
 
@@ -60,9 +61,11 @@ class GraphRegistry {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<ResidentGraph>> graphs_;
-  std::map<std::string, uint64_t> epochs_;  // survives drops
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<ResidentGraph>> graphs_
+      GRAPHITE_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> epochs_
+      GRAPHITE_GUARDED_BY(mu_);  // survives drops
 };
 
 }  // namespace graphite

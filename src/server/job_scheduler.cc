@@ -26,7 +26,7 @@ Status JobScheduler::Submit(QueryRequest req,
   // touches a Workload and needs no per-graph serialization.
   if (auto hit = service_->TryServeFromCache(req)) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) {
         return Status::OutOfRange("scheduler stopped");
       }
@@ -37,7 +37,7 @@ Status JobScheduler::Submit(QueryRequest req,
     return Status::OK();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return Status::OutOfRange("scheduler stopped");
     }
@@ -50,8 +50,15 @@ Status JobScheduler::Submit(QueryRequest req,
     ++submitted_;
     queue_.push_back(Job{std::move(req), std::move(done), NowNanos()});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
+}
+
+bool JobScheduler::AnyRunnable() const {
+  for (const Job& j : queue_) {
+    if (busy_graphs_.count(j.req.graph) == 0) return true;
+  }
+  return false;
 }
 
 bool JobScheduler::PickRunnable(Job* out) {
@@ -75,7 +82,7 @@ void JobScheduler::RunJob(Job job) {
   // graph and wakes Drain(): a stats() read right after Drain() returns
   // has to see every completed job accounted for.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     busy_graphs_.erase(job.req.graph);
     --running_;
     ++completed_;
@@ -84,22 +91,16 @@ void JobScheduler::RunJob(Job job) {
     supersteps_ += stats.supersteps;
   }
   // Freeing the graph may make a queued job runnable for ANY worker.
-  work_cv_.notify_all();
-  drain_cv_.notify_all();
+  work_cv_.NotifyAll();
+  drain_cv_.NotifyAll();
 }
 
 void JobScheduler::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        if (stopping_) return true;
-        for (const Job& j : queue_) {
-          if (busy_graphs_.count(j.req.graph) == 0) return true;
-        }
-        return false;
-      });
+      MutexLock lock(mu_);
+      while (!stopping_ && !AnyRunnable()) work_cv_.Wait(mu_);
       if (stopping_) return;
       if (!PickRunnable(&job)) continue;
     }
@@ -108,20 +109,19 @@ void JobScheduler::WorkerLoop() {
 }
 
 void JobScheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock,
-                 [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || running_ != 0) drain_cv_.Wait(mu_);
 }
 
 void JobScheduler::Stop() {
   std::deque<Job> abandoned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
     abandoned.swap(queue_);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (Job& job : abandoned) {
     job.done(QueryService::ErrorResponse(
         job.req.id, job.req.op,
@@ -130,13 +130,13 @@ void JobScheduler::Stop() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 bool JobScheduler::RunOneForTest() {
   Job job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!PickRunnable(&job)) return false;
   }
   RunJob(std::move(job));
@@ -144,7 +144,7 @@ bool JobScheduler::RunOneForTest() {
 }
 
 SchedulerStats JobScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SchedulerStats s;
   s.submitted = submitted_;
   s.rejected = rejected_;

@@ -21,17 +21,17 @@
 #ifndef GRAPHITE_SERVER_JOB_SCHEDULER_H_
 #define GRAPHITE_SERVER_JOB_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/query_service.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace graphite {
 
@@ -90,28 +90,30 @@ class JobScheduler {
   };
 
   void WorkerLoop();
-  /// Pops the first queued job whose graph is idle; holds mu_.
-  bool PickRunnable(Job* out);
+  /// Pops the first queued job whose graph is idle.
+  bool PickRunnable(Job* out) GRAPHITE_REQUIRES(mu_);
+  /// True when some queued job's graph is idle (the worker wake predicate).
+  bool AnyRunnable() const GRAPHITE_REQUIRES(mu_);
   void RunJob(Job job);
 
   QueryService* service_;
   const SchedulerOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Signals workers: queue changed.
-  std::condition_variable drain_cv_;  ///< Signals Drain/Stop: job finished.
-  std::deque<Job> queue_;
-  std::set<std::string> busy_graphs_;
-  size_t running_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;   ///< Signals workers: queue changed.
+  CondVar drain_cv_;  ///< Signals Drain/Stop: job finished.
+  std::deque<Job> queue_ GRAPHITE_GUARDED_BY(mu_);
+  std::set<std::string> busy_graphs_ GRAPHITE_GUARDED_BY(mu_);
+  size_t running_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  bool stopping_ GRAPHITE_GUARDED_BY(mu_) = false;
 
-  int64_t submitted_ = 0;
-  int64_t rejected_ = 0;
-  int64_t completed_ = 0;
-  int64_t fastpath_hits_ = 0;
-  int64_t queue_wait_ns_ = 0;
-  int64_t run_ns_ = 0;
-  int64_t supersteps_ = 0;
+  int64_t submitted_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t rejected_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t completed_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t fastpath_hits_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t queue_wait_ns_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t run_ns_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t supersteps_ GRAPHITE_GUARDED_BY(mu_) = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -3,7 +3,7 @@
 namespace graphite {
 
 std::optional<std::string> ResultCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -15,7 +15,7 @@ std::optional<std::string> ResultCache::Get(const std::string& key) {
 }
 
 std::optional<std::string> ResultCache::GetIfPresent(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   ++hits_;
@@ -27,7 +27,7 @@ void ResultCache::Put(const std::string& key, std::string payload) {
   if (max_entries_ == 0) return;
   const size_t cost = key.size() + payload.size();
   if (cost > max_bytes_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->payload.size();
@@ -55,7 +55,7 @@ void ResultCache::EvictToCapacity() {
 }
 
 int64_t ResultCache::ErasePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t removed = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.compare(0, prefix.size(), prefix) == 0) {
@@ -71,14 +71,14 @@ int64_t ResultCache::ErasePrefix(const std::string& prefix) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ResultCacheStats s;
   s.hits = hits_;
   s.misses = misses_;

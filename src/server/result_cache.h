@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace graphite {
 
@@ -67,20 +69,20 @@ class ResultCache {
     std::string payload;
   };
 
-  // Callers hold mu_.
-  void EvictToCapacity();
+  void EvictToCapacity() GRAPHITE_REQUIRES(mu_);
 
   const size_t max_entries_;
   const size_t max_bytes_;
 
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  size_t bytes_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
-  int64_t inserts_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> lru_ GRAPHITE_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GRAPHITE_GUARDED_BY(mu_);
+  size_t bytes_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t hits_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t misses_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ GRAPHITE_GUARDED_BY(mu_) = 0;
+  int64_t inserts_ GRAPHITE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace graphite

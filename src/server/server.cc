@@ -7,7 +7,6 @@
 
 #include <cctype>
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <istream>
 #include <memory>
@@ -49,10 +48,10 @@ bool WriteAll(int fd, const std::string& data) {
 /// the connection is not closed under an async data-op response.
 struct ConnState {
   explicit ConnState(int fd) : fd(fd) {}
-  std::mutex mu;
-  std::condition_variable cv;
-  int fd;
-  int64_t pending = 0;
+  Mutex mu;
+  CondVar cv;
+  int fd;  // Immutable; writes through it serialize under mu.
+  int64_t pending GRAPHITE_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace
@@ -242,19 +241,19 @@ void Server::HandleLine(const std::string& line,
 
 int64_t Server::ServeStream(std::istream& in, std::ostream& out) {
   struct StreamState {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::ostream* out;
-    int64_t pending = 0;
+    Mutex mu;
+    CondVar cv;
+    std::ostream* out;  // Immutable; writes through it serialize under mu.
+    int64_t pending GRAPHITE_GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<StreamState>();
   state->out = &out;
   auto respond = [state](std::string line) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     (*state->out) << line << '\n';
     state->out->flush();
     --state->pending;
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   };
   int64_t handled = 0;
   std::string line;
@@ -263,14 +262,14 @@ int64_t Server::ServeStream(std::istream& in, std::ostream& out) {
     if (line.empty()) continue;
     ++handled;
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       ++state->pending;
     }
     HandleLine(line, respond);
   }
   scheduler_.Drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->pending == 0; });
+  MutexLock lock(state->mu);
+  while (state->pending != 0) state->cv.Wait(state->mu);
   return handled;
 }
 
@@ -312,13 +311,13 @@ void Server::ServeTcp() {
       ::close(cfd);
       break;
     }
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conn_fds_.push_back(cfd);
     conn_threads_.emplace_back([this, cfd] { ConnectionLoop(cfd); });
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
@@ -331,10 +330,10 @@ void Server::ConnectionLoop(int fd) {
   auto state = std::make_shared<ConnState>(fd);
   auto respond = [state](std::string line) {
     line.push_back('\n');
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     WriteAll(state->fd, line);
     --state->pending;
-    state->cv.notify_all();
+    state->cv.NotifyAll();
   };
   std::string buffer;
   char chunk[4096];
@@ -351,7 +350,7 @@ void Server::ConnectionLoop(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         ++state->pending;
       }
       HandleLine(line, respond);
@@ -360,11 +359,11 @@ void Server::ConnectionLoop(int fd) {
   }
   {
     // Wait out async data-op responses before closing the socket.
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->pending == 0; });
+    MutexLock lock(state->mu);
+    while (state->pending != 0) state->cv.Wait(state->mu);
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
       if (*it == fd) {
         conn_fds_.erase(it);
@@ -378,7 +377,7 @@ void Server::ConnectionLoop(int fd) {
 void Server::RequestShutdown() {
   if (shutdown_.exchange(true)) return;
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
 }
 

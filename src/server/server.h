@@ -26,7 +26,6 @@
 #include <atomic>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +34,8 @@
 #include "server/job_scheduler.h"
 #include "server/query_service.h"
 #include "server/result_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace graphite {
 
@@ -100,9 +101,9 @@ class Server {
 
   std::atomic<bool> shutdown_{false};
   int listen_fd_ = -1;
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  Mutex conn_mu_;
+  std::vector<int> conn_fds_ GRAPHITE_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ GRAPHITE_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace graphite

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "server/server.h"
+#include "util/json.h"
 
 namespace {
 
@@ -127,7 +128,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   // Machine-readable startup line (tests and scripts parse this).
-  std::fprintf(stdout, "{\"ready\": true, \"port\": %d}\n", *bound);
+  graphite::JsonWriter ready;
+  ready.BeginObject();
+  ready.Key("ready").Bool(true);
+  ready.Key("port").Int(*bound);
+  ready.EndObject();
+  std::fprintf(stdout, "%s\n", ready.str().c_str());
   std::fflush(stdout);
   server.ServeTcp();
   return 0;

@@ -32,8 +32,10 @@ struct Interval {
   constexpr bool IsEmpty() const { return !IsValid(); }
   /// True iff the interval extends to +infinity.
   constexpr bool IsOpenEnded() const { return end == kTimeMax; }
-  /// True iff the interval covers exactly one time-point.
-  constexpr bool IsUnit() const { return IsValid() && end - start == 1; }
+  /// True iff the interval covers exactly one time-point. Phrased as an
+  /// addition: IsValid() gives start < end <= kTimeMax, so start + 1
+  /// cannot overflow, while end - start does for [kTimeMin, e).
+  constexpr bool IsUnit() const { return IsValid() && end == start + 1; }
 
   /// Number of time-points covered; kTimeMax for open-ended intervals.
   constexpr TimePoint Length() const {

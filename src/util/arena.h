@@ -11,6 +11,13 @@
 // superstep's messaging phase stays valid through the next superstep's
 // compute phase and any barrier checkpoint encode, and is reclaimed only
 // by the owner's Reset() at the superstep barrier.
+//
+// Under AddressSanitizer the invariant is *instrumented*, not just
+// documented: block capacity is manually poisoned and only the bytes a
+// bump allocation hands out are unpoisoned, so a span that outlives its
+// superstep (read after the barrier Reset) or strays into the alignment
+// padding between allocations faults immediately as a use-after-poison
+// instead of silently reading recycled bytes. See DESIGN.md §4k.
 #ifndef GRAPHITE_UTIL_ARENA_H_
 #define GRAPHITE_UTIL_ARENA_H_
 
@@ -25,6 +32,28 @@
 #include "engine/buffer_tuning.h"
 #include "util/status.h"
 
+// ASan detection: GCC defines __SANITIZE_ADDRESS__; Clang exposes it via
+// __has_feature. GRAPHITE_ASAN gates both the poisoning calls below and
+// the use-after-reset death test in tests/arena_test.cc.
+#if defined(__SANITIZE_ADDRESS__)
+#define GRAPHITE_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GRAPHITE_ASAN 1
+#endif
+#endif
+
+#if defined(GRAPHITE_ASAN)
+#include <sanitizer/asan_interface.h>
+#define GRAPHITE_ASAN_POISON(addr, size) \
+  __asan_poison_memory_region((addr), (size))
+#define GRAPHITE_ASAN_UNPOISON(addr, size) \
+  __asan_unpoison_memory_region((addr), (size))
+#else
+#define GRAPHITE_ASAN_POISON(addr, size) ((void)(addr), (void)(size))
+#define GRAPHITE_ASAN_UNPOISON(addr, size) ((void)(addr), (void)(size))
+#endif
+
 namespace graphite {
 
 class Arena {
@@ -32,6 +61,10 @@ class Arena {
   Arena() = default;
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    // ASan: hand memory back to the allocator unpoisoned.
+    for (Block& b : blocks_) GRAPHITE_ASAN_UNPOISON(b.data.get(), b.size);
+  }
 
   /// Bump-allocates `bytes` aligned to `align` (a power of two, at most
   /// alignof(max_align_t) — block bases are only new[]-aligned).
@@ -47,9 +80,11 @@ class Arena {
       const uintptr_t base = reinterpret_cast<uintptr_t>(fresh.data.get());
       at = ((base + align - 1) & ~(uintptr_t{align} - 1)) - base;
       fresh.used = at + bytes;
+      GRAPHITE_ASAN_UNPOISON(fresh.data.get() + at, bytes);
       return fresh.data.get() + at;
     }
     top.used = at + bytes;
+    GRAPHITE_ASAN_UNPOISON(top.data.get() + at, bytes);
     return top.data.get() + at;
   }
 
@@ -73,6 +108,7 @@ class Arena {
     const size_t extra = (new_n - old_n) * sizeof(T);
     if (top.used + extra > top.size) return false;
     top.used += extra;
+    GRAPHITE_ASAN_UNPOISON(end, extra);
     return true;
   }
 
@@ -87,9 +123,14 @@ class Arena {
     const size_t want = high_water_ + BufferTuning::kRetainBytes;
     if (blocks_.size() == 1 &&
         !BufferTuning::ShouldShrink(blocks_[0].size, high_water_)) {
+      // ASan: re-poison the retained block wholesale. Any pointer handed
+      // out before this barrier now faults on first touch instead of
+      // silently reading bytes the next superstep recycles.
+      GRAPHITE_ASAN_POISON(blocks_[0].data.get(), blocks_[0].size);
       blocks_[0].used = 0;
       return;
     }
+    for (Block& b : blocks_) GRAPHITE_ASAN_UNPOISON(b.data.get(), b.size);
     blocks_.clear();
     AddBlock(want);
   }
@@ -119,6 +160,9 @@ class Arena {
                                   : blocks_.back().size * 2;
     size = std::max(size, at_least);
     blocks_.push_back({std::make_unique<char[]>(size), size, 0});
+    // ASan: fresh capacity starts poisoned; Allocate unpoisons exactly
+    // the bytes it hands out (alignment padding stays poisoned).
+    GRAPHITE_ASAN_POISON(blocks_.back().data.get(), size);
   }
 
   std::vector<Block> blocks_;

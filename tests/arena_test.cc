@@ -197,5 +197,59 @@ TEST(SuperstepVecTest, PicksArenaBackingForTrivialTypes) {
                                RecycledVec<std::vector<int>>>);
 }
 
+#if defined(GRAPHITE_ASAN)
+// The poisoning contract of DESIGN.md §4k, proven from both sides under
+// the asan preset (these suites carry the `asan` ctest label):
+// use-after-reset faults immediately, while the legal lifetime — reads up
+// to the barrier, reuse after re-allocation — stays clean.
+
+TEST(ArenaPoisonDeathTest, UseAfterResetFaults) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A span that escapes its superstep: reading it after the barrier
+  // Reset must die with ASan's use-after-poison report, not return
+  // recycled bytes.
+  ASSERT_DEATH(
+      {
+        Arena arena;
+        uint32_t* span = arena.AllocateArray<uint32_t>(64);
+        for (uint32_t i = 0; i < 64; ++i) span[i] = i;
+        arena.Reset();  // superstep barrier
+        volatile uint32_t leak = span[7];
+        (void)leak;
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaPoisonDeathTest, AlignmentPaddingStaysPoisoned) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The padding between a 1-byte allocation and the next max-aligned one
+  // was never handed out, so touching it is a fault even mid-superstep.
+  ASSERT_DEATH(
+      {
+        Arena arena;
+        char* a = static_cast<char*>(arena.Allocate(1, 1));
+        arena.Allocate(64, alignof(std::max_align_t));
+        volatile char pad = a[8];  // first byte past a's granule
+        (void)pad;
+      },
+      "use-after-poison");
+}
+
+TEST(ArenaPoisonTest, LegalLifetimeIsNotPoisoned) {
+  // Within-superstep reads, in-place extension, and post-Reset
+  // re-allocation of the recycled block must all be clean.
+  Arena arena;
+  uint32_t* a = arena.AllocateArray<uint32_t>(16);
+  for (uint32_t i = 0; i < 16; ++i) a[i] = i;
+  ASSERT_TRUE(arena.TryExtendArray(a, 16, 32));
+  for (uint32_t i = 16; i < 32; ++i) a[i] = i;
+  for (uint32_t i = 0; i < 32; ++i) EXPECT_EQ(a[i], i);
+  arena.Reset();
+  uint32_t* b = arena.AllocateArray<uint32_t>(32);  // recycled block
+  for (uint32_t i = 0; i < 32; ++i) b[i] = 2 * i;
+  for (uint32_t i = 0; i < 32; ++i) EXPECT_EQ(b[i], 2 * i);
+}
+#endif  // GRAPHITE_ASAN
+
 }  // namespace
 }  // namespace graphite

@@ -12,6 +12,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "icm/message.h"
+#include "util/json.h"
 #include "util/serde.h"
 #include "util/varint.h"
 
@@ -207,6 +208,136 @@ TEST(SerdeFuzzTest, CheckpointFrameFuzz) {
         EXPECT_EQ(damaged.status().code(), StatusCode::kDataLoss);
       }
     }
+  }
+}
+
+// --- ParseJson fuzzing (ISSUE 9) -------------------------------------
+//
+// The JSON parser fronts the serving protocol: every byte a client sends
+// reaches ParseJson before anything else. These sections feed it random
+// garbage and mutated valid documents; the contract is that it returns a
+// Status — it must never abort, crash, or read out of bounds (the latter
+// enforced by running this suite under the asan/ubsan presets).
+
+// A random JSON document tree with bounded depth/fanout. Deterministic
+// per seed so failures reproduce.
+JsonValue RandomJsonValue(std::mt19937_64& rng, int depth) {
+  const int pick = static_cast<int>(rng() % (depth > 0 ? 7 : 5));
+  switch (pick) {
+    case 0:
+      return JsonValue();  // null
+    case 1:
+      return JsonValue::MakeBool(rng() % 2 != 0);
+    case 2:
+      return JsonValue::MakeInt(static_cast<int64_t>(rng()));
+    case 3:
+      // Finite doubles only: NaN/Inf are not representable in JSON.
+      return JsonValue::MakeDouble(
+          static_cast<double>(static_cast<int64_t>(rng() % 1000000)) / 64.0);
+    case 4: {
+      std::string s(rng() % 24, '\0');
+      for (char& ch : s) {
+        // Mix printable ASCII with escapes and raw control bytes.
+        const int c = static_cast<int>(rng() % 130);
+        ch = static_cast<char>(c < 2 ? '"' : (c < 4 ? '\\' : c));
+      }
+      return JsonValue::MakeString(std::move(s));
+    }
+    case 5: {
+      JsonValue arr = JsonValue::MakeArray();
+      const int n = static_cast<int>(rng() % 5);
+      for (int i = 0; i < n; ++i) arr.Push(RandomJsonValue(rng, depth - 1));
+      return arr;
+    }
+    default: {
+      JsonValue obj = JsonValue::MakeObject();
+      const int n = static_cast<int>(rng() % 5);
+      for (int i = 0; i < n; ++i) {
+        obj.Add("k" + std::to_string(i), RandomJsonValue(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+std::string Serialize(const JsonValue& v) {
+  JsonWriter w;
+  v.WriteTo(&w);
+  return w.Take();
+}
+
+// Pure random bytes: overwhelmingly invalid JSON, occasionally valid
+// fragments ("1", "[]"). Either way ParseJson must return, not abort.
+TEST(JsonFuzzTest, RandomBytesNeverAbort) {
+  std::mt19937_64 rng(37);
+  for (int round = 0; round < 2000; ++round) {
+    std::string doc(rng() % 64, '\0');
+    const bool ascii_heavy = round % 2 == 0;
+    for (char& ch : doc) {
+      ch = ascii_heavy
+               ? static_cast<char>("{}[]:,\"\\truefalsn0123456789.eE+- "
+                                   [rng() % 33])
+               : static_cast<char>(rng());
+    }
+    const auto parsed = ParseJson(doc);
+    if (parsed.ok()) {
+      // Whatever it accepted must re-serialize to parseable JSON.
+      const auto again = ParseJson(Serialize(parsed.value()));
+      EXPECT_TRUE(again.ok()) << "round " << round << " doc=" << doc;
+    }
+  }
+}
+
+// Valid documents with random single-byte mutations (flips, inserts,
+// truncations). Accept-or-reject is fine; aborting is not, and anything
+// accepted must survive a serialize→parse round trip.
+TEST(JsonFuzzTest, MutatedValidDocumentsNeverAbort) {
+  std::mt19937_64 rng(41);
+  for (int round = 0; round < 500; ++round) {
+    std::string doc = Serialize(RandomJsonValue(rng, 3));
+    const int mutation = static_cast<int>(rng() % 3);
+    if (doc.empty()) continue;
+    if (mutation == 0) {
+      doc[rng() % doc.size()] ^= static_cast<char>(1 + rng() % 255);
+    } else if (mutation == 1) {
+      doc.insert(rng() % doc.size(),
+                 1, static_cast<char>("{}[]:,\"0"[rng() % 8]));
+    } else {
+      doc.resize(rng() % doc.size());
+    }
+    const auto damaged = ParseJson(doc);
+    if (damaged.ok()) {
+      EXPECT_TRUE(ParseJson(Serialize(damaged.value())).ok())
+          << "round " << round << " doc=" << doc;
+    }
+  }
+}
+
+// Writer → parser → writer round trip: the two serializations must be
+// byte-identical, which pins escaping, number formatting, and member
+// order preservation all at once.
+TEST(JsonFuzzTest, WriterParserRoundTripIsByteStable) {
+  std::mt19937_64 rng(43);
+  for (int round = 0; round < 300; ++round) {
+    const JsonValue original = RandomJsonValue(rng, 4);
+    const std::string first = Serialize(original);
+    const auto reparsed = ParseJson(first);
+    ASSERT_TRUE(reparsed.ok())
+        << "round " << round << ": " << reparsed.status().ToString()
+        << " doc=" << first;
+    EXPECT_EQ(Serialize(reparsed.value()), first) << "round " << round;
+  }
+}
+
+// Deep nesting must be rejected with an error (or parsed, for shallow
+// cases) — never a stack overflow. 100k brackets would blow the stack
+// if the parser recursed unboundedly.
+TEST(JsonFuzzTest, PathologicalNestingDoesNotOverflow) {
+  for (const char* pair : {"[", "{\"k\":"}) {
+    std::string doc;
+    for (int i = 0; i < 100000; ++i) doc += pair;
+    const auto parsed = ParseJson(doc);
+    EXPECT_FALSE(parsed.ok());
   }
 }
 

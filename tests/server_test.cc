@@ -14,12 +14,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "testutil.h"
+#include "util/mutex.h"
 
 namespace graphite {
 namespace {
@@ -200,10 +200,10 @@ TEST(ServerConcurrencyTest, InterleavedJobsMatchStandalone) {
   }
   ASSERT_GE(items.size(), 64u);
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> responses;
   auto respond = [&](std::string line) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     responses.push_back(std::move(line));
   };
 

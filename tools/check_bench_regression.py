@@ -32,6 +32,7 @@ not been regenerated yet) are reported as notes, never failures.
 
 Usage: check_bench_regression.py <committed.json> <fresh.json> [--strict]
        check_bench_regression.py --list-gates <report.json> [...]
+       check_bench_regression.py --self-test
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/format error.
 """
 
@@ -108,7 +109,190 @@ def regressed(better, baseline, fresh):
     )
 
 
+def self_test():
+    """Runs the gate as a subprocess over synthetic reports (exit 0/1).
+
+    Registered as the `bench_gate_self_test` ctest entry so the gate's
+    contract — schema rejection, timing downgrade on host mismatch,
+    unconditional count enforcement — is itself under test without
+    needing a benchmark run or a pytest install.
+    """
+    import subprocess
+    import tempfile
+
+    def report(gated, cores=8, simd="avx2"):
+        return {
+            "hardware_concurrency": cores,
+            "simd_dispatch": simd,
+            "gated": gated,
+        }
+
+    def entry(value, better="lower", timing=False):
+        return {"value": value, "better": better, "timing": timing}
+
+    env = dict(os.environ)
+    env.pop("GRAPHITE_PERF_STRICT", None)
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="bench_gate_st_") as tmp:
+        def run(case, base, fresh, extra=None, want=0, grep=None):
+            paths = []
+            for name, doc in (("base.json", base), ("fresh.json", fresh)):
+                path = os.path.join(tmp, case + "_" + name)
+                with open(path, "w", encoding="utf-8") as f:
+                    json.dump(doc, f)
+                paths.append(path)
+            cmd = [sys.executable, os.path.abspath(__file__)]
+            cmd += (extra or []) + paths
+            proc = subprocess.run(
+                cmd, env=env, capture_output=True, text=True
+            )
+            out = proc.stdout + proc.stderr
+            if proc.returncode != want:
+                failures.append(
+                    f"{case}: exit {proc.returncode}, want {want}\n{out}"
+                )
+            elif grep and grep not in out:
+                failures.append(f"{case}: output missing {grep!r}\n{out}")
+            else:
+                print(f"  ok  {case}")
+
+        clean = report({"allocs": entry(100.0)})
+        run("identical_reports_pass", clean, clean, want=0)
+        run(
+            "count_regression_fails",
+            report({"allocs": entry(100.0)}),
+            report({"allocs": entry(150.0)}),
+            want=1,
+            grep="REGRESSION",
+        )
+        run(
+            "count_within_tolerance_passes",
+            report({"allocs": entry(100.0)}),
+            report({"allocs": entry(105.0)}),
+            want=0,
+        )
+        run(
+            "higher_is_better_regression",
+            report({"speedup": entry(10.0, better="higher")}),
+            report({"speedup": entry(5.0, better="higher")}),
+            want=1,
+        )
+        run(
+            "zero_baseline_gets_absolute_slack",
+            report({"allocs": entry(0.0)}),
+            report({"allocs": entry(0.05)}),
+            want=0,
+        )
+        run(
+            "zero_baseline_still_gates",
+            report({"allocs": entry(0.0)}),
+            report({"allocs": entry(0.5)}),
+            want=1,
+        )
+        run(
+            "timing_regression_is_warning_by_default",
+            report({"warp_ms": entry(10.0, timing=True)}),
+            report({"warp_ms": entry(20.0, timing=True)}),
+            want=0,
+            grep="warn",
+        )
+        run(
+            "timing_regression_enforced_under_strict",
+            report({"warp_ms": entry(10.0, timing=True)}),
+            report({"warp_ms": entry(20.0, timing=True)}),
+            extra=["--strict"],
+            want=1,
+        )
+        run(
+            "core_mismatch_downgrades_timing_even_strict",
+            report({"warp_ms": entry(10.0, timing=True)}, cores=8),
+            report({"warp_ms": entry(20.0, timing=True)}, cores=32),
+            extra=["--strict"],
+            want=0,
+            grep="hardware_concurrency",
+        )
+        run(
+            "simd_mismatch_downgrades_timing_even_strict",
+            report({"warp_ms": entry(10.0, timing=True)}, simd="avx2"),
+            report({"warp_ms": entry(20.0, timing=True)}, simd="scalar"),
+            extra=["--strict"],
+            want=0,
+            grep="simd_dispatch",
+        )
+        run(
+            "core_mismatch_still_enforces_counts",
+            report({"allocs": entry(100.0)}, cores=8),
+            report({"allocs": entry(150.0)}, cores=32),
+            want=1,
+            grep="REGRESSION",
+        )
+        run(
+            "missing_key_in_fresh_fails",
+            report({"allocs": entry(100.0), "spans": entry(5.0)}),
+            report({"allocs": entry(100.0)}),
+            want=1,
+            grep="missing from fresh run",
+        )
+        run(
+            "new_key_in_fresh_is_note",
+            report({"allocs": entry(100.0)}),
+            report({"allocs": entry(100.0), "spans": entry(5.0)}),
+            want=0,
+            grep="no baseline yet",
+        )
+        run(
+            "missing_gated_block_is_format_error",
+            {"hardware_concurrency": 8},
+            clean,
+            want=2,
+            grep="no 'gated' object",
+        )
+        run(
+            "non_numeric_value_is_format_error",
+            report({"allocs": {"value": "fast", "better": "lower",
+                               "timing": False}}),
+            clean,
+            want=2,
+            grep="non-numeric",
+        )
+        run(
+            "bad_direction_is_format_error",
+            report({"allocs": {"value": 1.0, "better": "sideways",
+                               "timing": False}}),
+            clean,
+            want=2,
+            grep="invalid 'better'",
+        )
+        run(
+            "missing_timing_flag_is_format_error",
+            report({"allocs": {"value": 1.0, "better": "lower"}}),
+            clean,
+            want=2,
+            grep="non-boolean",
+        )
+        run(
+            "list_gates_prints_schema",
+            clean,
+            clean,
+            extra=["--list-gates"],
+            want=0,
+            grep="allocs",
+        )
+
+    if failures:
+        print(f"\nself-test FAILED ({len(failures)} cases):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("self-test: 18 cases ok")
+    return 0
+
+
 def main(argv):
+    if "--self-test" in argv:
+        return self_test()
     strict = "--strict" in argv or os.environ.get(
         "GRAPHITE_PERF_STRICT", "0"
     ) not in ("", "0")
